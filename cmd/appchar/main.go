@@ -1,0 +1,44 @@
+// Command appchar characterises the synthetic application models the way
+// the paper's Table 2 characterises the SPEC CPU2000 benchmarks: type,
+// requirement-variation frequency, stand-alone IPC, resource requirement
+// (registers for 95% of peak solo IPC), and cache/branch behaviour.
+//
+// Usage:
+//
+//	appchar [-cycles N] [app...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smthill/internal/experiment"
+	"smthill/internal/workload"
+)
+
+func main() {
+	cycles := flag.Int("cycles", 6*64*1024, "solo run length in cycles")
+	flag.Parse()
+
+	cfg := experiment.Default()
+	cfg.SoloCycles = *cycles
+	rows := experiment.Table2(cfg)
+
+	if flag.NArg() > 0 {
+		want := map[string]bool{}
+		for _, n := range flag.Args() {
+			workload.Get(n) // validate
+			want[n] = true
+		}
+		filtered := rows[:0]
+		for _, r := range rows {
+			if want[r.App] {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+	experiment.WriteTable2(os.Stdout, rows)
+	fmt.Printf("\n(Rsc = integer rename registers for 95%% of full-resource solo IPC; paper's Table 2 classes are in internal/workload)\n")
+}

@@ -1,0 +1,188 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] <experiment> [experiment...]
+//	experiments -epochs 240 -stride 2 all
+//
+// Experiments: table1 table2 table3 fig2 fig4 fig5 fig7 fig9 fig10 fig11
+// fig12 qual sec5 all. Flags scale the runs; the defaults regenerate every
+// experiment at laptop scale (see DESIGN.md's scaling note); -paper uses
+// the paper's methodology sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smthill/internal/experiment"
+	"smthill/internal/pipeline"
+	"smthill/internal/resource"
+	"smthill/internal/workload"
+)
+
+func main() {
+	var (
+		epochs    = flag.Int("epochs", 0, "measured epochs per run (0 = config default)")
+		stride    = flag.Int("stride", 0, "exhaustive-search stride in rename registers (0 = config default)")
+		paper     = flag.Bool("paper", false, "use the paper-scale configuration (slow)")
+		loadsFlag = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
+		wl        = flag.String("fig12-workload", "mcf-eon", "workload for fig12")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiment.Default()
+	if *paper {
+		cfg = experiment.Paper()
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *stride > 0 {
+		cfg.OffLineStride = *stride
+	}
+
+	for _, name := range flag.Args() {
+		run(cfg, name, *loadsFlag, *wl)
+	}
+}
+
+func pick(subset string, def []workload.Workload) []workload.Workload {
+	if subset == "" {
+		return def
+	}
+	var out []workload.Workload
+	for _, n := range splitComma(subset) {
+		out = append(out, workload.ByName(n))
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func run(cfg experiment.Config, name, subset, fig12wl string) {
+	out := os.Stdout
+	switch name {
+	case "table1":
+		writeTable1(cfg)
+	case "table2":
+		fmt.Fprintln(out, "== Table 2: application characterisation ==")
+		experiment.WriteTable2(out, experiment.Table2(cfg))
+	case "table3":
+		fmt.Fprintln(out, "== Table 3: multiprogrammed workloads ==")
+		experiment.WriteTable3(out, experiment.Table3())
+	case "fig2":
+		fmt.Fprintln(out, "== Figure 2: IPC vs resource distribution (mesa/vortex/fma3d) ==")
+		experiment.WriteFigure2(out, experiment.Figure2(cfg, 16))
+	case "fig4":
+		fmt.Fprintln(out, "== Figure 4: OFF-LINE vs ICOUNT/FLUSH/DCRA (2-thread, weighted IPC) ==")
+		rows := experiment.Figure4(cfg, pick(subset, workload.TwoThread()))
+		experiment.WriteCompare(out, rows)
+		for _, b := range []string{"ICOUNT", "FLUSH", "DCRA"} {
+			fmt.Fprintf(out, "OFF-LINE gain over %s: %+.1f%%\n", b, 100*experiment.Gains(rows, "OFF-LINE", b))
+		}
+	case "fig5":
+		fmt.Fprintln(out, "== Figure 5: synchronized time-varying performance (art-mcf) ==")
+		rows := experiment.Figure5(cfg, workload.ByName("art-mcf"))
+		experiment.WriteFigure5(out, rows)
+		for b, f := range experiment.WinFractions(rows) {
+			fmt.Fprintf(out, "OFF-LINE >= %s in %.1f%% of epochs\n", b, 100*f)
+		}
+	case "fig7":
+		fmt.Fprintln(out, "== Figures 6/7: hill-width analysis (2-thread) ==")
+		experiment.WriteHillWidths(out, experiment.HillWidths(cfg, pick(subset, workload.TwoThread())))
+	case "fig9":
+		fmt.Fprintln(out, "== Figure 9: HILL-WIPC vs ICOUNT/FLUSH/DCRA (42 workloads) ==")
+		rows := experiment.Figure9(cfg, pick(subset, workload.All()))
+		experiment.WriteCompare(out, rows)
+		for _, b := range []string{"ICOUNT", "FLUSH", "DCRA"} {
+			fmt.Fprintf(out, "HILL gain over %s: %+.1f%%\n", b, 100*experiment.Gains(rows, "HILL", b))
+		}
+	case "fig10":
+		fmt.Fprintln(out, "== Figure 10: metric matrix by workload group ==")
+		cells := experiment.Figure10(cfg, pick(subset, workload.All()))
+		experiment.WriteFigure10(out, cells)
+		fmt.Fprintf(out, "matched-metric advantage: %+.1f%%\n", 100*experiment.MatchedMetricAdvantage(cells))
+	case "fig11":
+		fmt.Fprintln(out, "== Figure 11 (top): HILL-WIPC vs OFF-LINE, 2-thread ==")
+		top := experiment.Figure11TwoThread(cfg, pick(subset, workload.TwoThread()))
+		experiment.WriteFigure11(out, top)
+		fmt.Fprintf(out, "HILL-WIPC achieves %.1f%% of OFF-LINE\n", 100*experiment.FractionOfIdeal(top, "OFF-LINE"))
+		fmt.Fprintln(out, "== Figure 11 (bottom): DCRA vs HILL-WIPC vs RAND-HILL, 4-thread ==")
+		bottom := experiment.Figure11FourThread(cfg, pick(subset, workload.FourThread()))
+		experiment.WriteFigure11(out, bottom)
+		fmt.Fprintf(out, "HILL-WIPC achieves %.1f%% of RAND-HILL\n", 100*experiment.FractionOfIdeal(bottom, "RAND-HILL"))
+		fmt.Fprintf(out, "RAND-HILL gain over DCRA: %+.1f%%\n", 100*fig11Gain(bottom))
+	case "fig12":
+		fmt.Fprintf(out, "== Figure 12: time-varying behaviour (%s) ==\n", fig12wl)
+		rows := experiment.Figure12(cfg, workload.ByName(fig12wl))
+		experiment.WriteFigure12(out, rows)
+		dist, frac := experiment.TrackingError(rows, cfg.OffLineStride)
+		fmt.Fprintf(out, "mean |HILL-BEST| = %.1f regs; HILL achieves %.1f%% of per-epoch ideal\n", dist, 100*frac)
+	case "qual":
+		fmt.Fprintln(out, "== Section 3.3.2: qualitative analysis scenarios ==")
+		experiment.WriteQualitative(out, experiment.Qualitative(cfg))
+	case "sec5":
+		fmt.Fprintln(out, "== Section 5: phase detection and prediction ==")
+		experiment.WriteSection5(out, experiment.Section5(cfg, pick(subset, workload.All())))
+	case "all":
+		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "qual", "sec5"} {
+			run(cfg, n, subset, fig12wl)
+			fmt.Fprintln(out)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+}
+
+func fig11Gain(rows []experiment.Figure11Row) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if d := r.Scores["DCRA"]; d > 0 {
+			sum += r.Scores["RAND-HILL"]/d - 1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func writeTable1(cfg experiment.Config) {
+	c := pipeline.DefaultConfig(2)
+	fmt.Println("== Table 1: SMT simulator settings ==")
+	fmt.Printf("Bandwidth          %d-Fetch, %d-Issue, %d-Commit\n", c.FetchWidth, c.IssueWidth, c.CommitWidth)
+	fmt.Printf("Queue size         %d-IFQ/thread, %d-Int IQ, %d-FP IQ, %d-LSQ\n",
+		c.IFQSize, c.Resources[resource.IntIQ], c.Resources[resource.FpIQ], c.Resources[resource.LSQ])
+	fmt.Printf("Rename reg / ROB   %d-Int, %d-FP / %d entry\n",
+		c.Resources[resource.IntRename], c.Resources[resource.FpRename], c.Resources[resource.ROB])
+	fmt.Printf("Functional units   %d-Int Add, %d-Int Mul/Div, %d-Mem Port, %d-FP Add, %d-FP Mul/Div\n",
+		c.FUs.IntAlu, c.FUs.IntMul, c.FUs.MemPorts, c.FUs.FpAlu, c.FUs.FpMul)
+	fmt.Printf("Branch predictor   hybrid %d-entry gshare / %d-entry bimodal, %d meta, %dx%d BTB, %d RAS\n",
+		c.Bpred.GshareEntries, c.Bpred.BimodalEntries, c.Bpred.MetaEntries, c.Bpred.BTBSets, c.Bpred.BTBWays, c.Bpred.RASEntries)
+	fmt.Printf("IL1/DL1            %dKB, %dB block, %d-way, %d-cycle\n",
+		c.Mem.IL1.SizeBytes>>10, c.Mem.IL1.BlockSize, c.Mem.IL1.Ways, c.Mem.IL1.Latency)
+	fmt.Printf("UL2                %dMB, %dB block, %d-way, %d-cycle\n",
+		c.Mem.UL2.SizeBytes>>20, c.Mem.UL2.BlockSize, c.Mem.UL2.Ways, c.Mem.UL2.Latency)
+	fmt.Printf("Memory             %d-cycle first chunk, %d-cycle inter-chunk\n", c.Mem.MemFirst, c.Mem.MemInter)
+	fmt.Printf("Epoch              %d cycles; mispredict penalty %d cycles\n", cfg.EpochSize, c.MispredictPenalty)
+}

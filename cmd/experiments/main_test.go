@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"smthill/internal/experiment"
+)
+
+func TestSplitComma(t *testing.T) {
+	cases := map[string][]string{
+		"":        nil,
+		"a":       {"a"},
+		"a,b":     {"a", "b"},
+		"a,,b,":   {"a", "b"},
+		",x":      {"x"},
+		"a,b,c,d": {"a", "b", "c", "d"},
+	}
+	for in, want := range cases {
+		got := splitComma(in)
+		if len(got) != len(want) {
+			t.Fatalf("splitComma(%q) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("splitComma(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}
+
+func TestFig11Gain(t *testing.T) {
+	rows := []experiment.Figure11Row{
+		{Scores: map[string]float64{"DCRA": 1.0, "RAND-HILL": 1.1}},
+		{Scores: map[string]float64{"DCRA": 2.0, "RAND-HILL": 2.0}},
+	}
+	if g := fig11Gain(rows); g < 0.049 || g > 0.051 {
+		t.Fatalf("gain = %f, want 0.05", g)
+	}
+	if g := fig11Gain(nil); g != 0 {
+		t.Fatalf("empty gain = %f", g)
+	}
+}
+
+func TestPickValidatesNames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload name did not panic")
+		}
+	}()
+	pick("not-a-workload", nil)
+}

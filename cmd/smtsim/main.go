@@ -1,0 +1,111 @@
+// Command smtsim runs one multiprogrammed workload on the simulated SMT
+// processor under a chosen resource distribution technique and prints
+// per-thread and aggregate statistics.
+//
+// Usage:
+//
+//	smtsim -workload art-mcf -tech HILL-WIPC -epochs 50
+//
+// Techniques: ICOUNT, STALL, FLUSH, DCRA, STATIC, HILL-IPC, HILL-WIPC,
+// HILL-HWIPC, HILL-PHASE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smthill/internal/core"
+	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
+	"smthill/internal/policy"
+	"smthill/internal/resource"
+	"smthill/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "art-mcf", "workload name from Table 3 (e.g. art-mcf), or comma-separated app names")
+		tech      = flag.String("tech", "HILL-WIPC", "distribution technique")
+		epochs    = flag.Int("epochs", 50, "epochs to simulate")
+		epochSize = flag.Int("epoch-size", core.DefaultEpochSize, "epoch length in cycles")
+		warmup    = flag.Int("warmup", 2, "warmup epochs before measurement")
+		delta     = flag.Int("delta", core.DefaultDelta, "hill-climbing step in rename registers")
+	)
+	flag.Parse()
+
+	w := lookupWorkload(*wlName)
+	m, dist, feedback := build(w, *tech, *delta)
+
+	m.CycleN(*warmup * *epochSize)
+	r := core.NewRunner(m, dist, feedback)
+	r.EpochSize = *epochSize
+	r.Run(*epochs)
+
+	ipc := r.TotalsSince(0)
+	fmt.Printf("workload %s under %s: %d epochs of %d cycles\n",
+		w.Name(), dist.Name(), *epochs, *epochSize)
+	total := 0.0
+	for th, v := range ipc {
+		fmt.Printf("  thread %d (%-8s): IPC %6.3f\n", th, w.Apps[th], v)
+		total += v
+	}
+	s := m.Stats()
+	fmt.Printf("  total IPC %.3f | mispredict %.2f%% | DL1 miss %.2f%% | L2 miss %.2f%% | flushes %d\n",
+		total, 100*m.MispredictRate(),
+		100*m.Mem().DL1.Stats.MissRate(), 100*m.Mem().UL2.Stats.MissRate(), s.Flushes)
+	if last := lastShares(r); last != nil {
+		fmt.Printf("  final partitioning (rename regs): %v\n", last)
+	}
+}
+
+func lookupWorkload(name string) workload.Workload {
+	if strings.Contains(name, ",") {
+		return workload.Workload{Apps: strings.Split(name, ","), Group: "custom"}
+	}
+	return workload.ByName(name)
+}
+
+// build wires up the machine, per-cycle policy, and epoch distributor for
+// a technique name.
+func build(w workload.Workload, tech string, delta int) (*pipeline.Machine, core.Distributor, metrics.Kind) {
+	renameRegs := resource.DefaultSizes()[resource.IntRename]
+	switch tech {
+	case "ICOUNT", "STALL", "FLUSH", "DCRA":
+		m := w.NewMachine(policy.ByName(tech))
+		return m, core.None{Label: tech}, metrics.WeightedIPC
+	case "STATIC":
+		return w.NewMachine(nil), core.NewStatic(w.Threads(), renameRegs), metrics.WeightedIPC
+	case "HILL-IPC":
+		h := core.NewHillClimber(w.Threads(), renameRegs, metrics.AvgIPC)
+		h.Delta = delta
+		return w.NewMachine(nil), h, metrics.AvgIPC
+	case "HILL-WIPC":
+		h := core.NewHillClimber(w.Threads(), renameRegs, metrics.WeightedIPC)
+		h.Delta = delta
+		return w.NewMachine(nil), h, metrics.WeightedIPC
+	case "HILL-HWIPC":
+		h := core.NewHillClimber(w.Threads(), renameRegs, metrics.HmeanWeightedIPC)
+		h.Delta = delta
+		return w.NewMachine(nil), h, metrics.HmeanWeightedIPC
+	case "HILL-PHASE":
+		ph := core.NewPhaseHill(w.Threads(), renameRegs, metrics.WeightedIPC)
+		ph.Hill.Delta = delta
+		return w.NewMachine(nil), ph, metrics.WeightedIPC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown technique %q\n", tech)
+		os.Exit(2)
+		return nil, nil, 0
+	}
+}
+
+func lastShares(r *core.Runner) resource.Shares {
+	res := r.Results()
+	for i := len(res) - 1; i >= 0; i-- {
+		if res[i].Shares != nil {
+			return res[i].Shares
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Policycompare: run the same multiprogrammed workload under every
+// resource distribution technique and compare end performance — a
+// miniature of the paper's Figure 9.
+//
+//	go run ./examples/policycompare [workload]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"smthill/internal/core"
+	"smthill/internal/metrics"
+	"smthill/internal/policy"
+	"smthill/internal/resource"
+	"smthill/internal/workload"
+)
+
+const (
+	epochs = 40
+	warmup = 2
+)
+
+func main() {
+	name := "art-gzip"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w := workload.ByName(name)
+
+	// Stand-alone reference IPCs for the weighted-IPC end metric.
+	singles := make([]float64, w.Threads())
+	for i, app := range w.Apps {
+		solo := workload.Workload{Apps: []string{app}}
+		sm := solo.NewMachine(nil)
+		sm.CycleN(8 * core.DefaultEpochSize)
+		singles[i] = float64(sm.Committed(0)) / float64(8*core.DefaultEpochSize)
+		fmt.Printf("%-8s stand-alone IPC %6.3f\n", app, singles[i])
+	}
+	fmt.Println()
+
+	renameRegs := resource.DefaultSizes()[resource.IntRename]
+	type entry struct {
+		label string
+		run   func() []float64
+	}
+	baseline := func(pol string) func() []float64 {
+		return func() []float64 {
+			m := w.NewMachine(policy.ByName(pol))
+			m.CycleN(warmup * core.DefaultEpochSize)
+			r := core.NewRunner(m, core.None{Label: pol}, metrics.WeightedIPC)
+			r.SamplePeriod = 0
+			r.Run(epochs)
+			return r.TotalsSince(0)
+		}
+	}
+	entries := []entry{
+		{"ICOUNT", baseline("ICOUNT")},
+		{"STALL", baseline("STALL")},
+		{"FLUSH", baseline("FLUSH")},
+		{"DCRA", baseline("DCRA")},
+		{"STATIC", func() []float64 {
+			m := w.NewMachine(nil)
+			m.CycleN(warmup * core.DefaultEpochSize)
+			r := core.NewRunner(m, core.NewStatic(w.Threads(), renameRegs), metrics.WeightedIPC)
+			r.SamplePeriod = 0
+			r.Run(epochs)
+			return r.TotalsSince(0)
+		}},
+		{"HILL-WIPC", func() []float64 {
+			m := w.NewMachine(nil)
+			m.CycleN(warmup * core.DefaultEpochSize)
+			r := core.NewRunner(m, core.NewHillClimber(w.Threads(), renameRegs, metrics.WeightedIPC), metrics.WeightedIPC)
+			r.Run(epochs)
+			return r.TotalsSince(0)
+		}},
+	}
+
+	fmt.Printf("%-10s %10s %10s\n", "technique", "sum IPC", "wIPC")
+	for _, e := range entries {
+		ipc := e.run()
+		sum := 0.0
+		for _, v := range ipc {
+			sum += v
+		}
+		fmt.Printf("%-10s %10.3f %10.3f\n", e.label, sum, metrics.WeightedIPC.Eval(ipc, singles))
+	}
+}

@@ -1,0 +1,3 @@
+module smthill
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package cache implements the memory hierarchy of the paper's SMT model
+// (Table 1): a 64KB 2-way instruction L1, a 64KB 2-way data L1, a unified
+// 1MB 4-way L2, and a 300-cycle main memory. Caches are physically shared
+// by all hardware contexts, as in a real SMT processor.
+//
+// The model is a latency model: an access probes the hierarchy, performs
+// the fills/evictions, and returns the load-to-use latency. Bandwidth is
+// modelled structurally by the pipeline (memory ports), not here.
+//
+// All state lives in flat slices so the hierarchy can be deep-copied for
+// machine checkpointing.
+package cache
+
+// Config sizes one cache level.
+type Config struct {
+	SizeBytes int // total capacity
+	BlockSize int // line size in bytes
+	Ways      int // associativity
+	Latency   int // hit latency in cycles
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockSize * c.Ways) }
+
+// HierarchyConfig describes the full memory system.
+type HierarchyConfig struct {
+	IL1, DL1, UL2 Config
+	// MemFirst is the latency of the first chunk from memory; MemInter
+	// the inter-chunk latency (Table 1: 300 / 6). The simulator charges
+	// MemFirst for the critical word.
+	MemFirst, MemInter int
+}
+
+// DefaultHierarchy returns the Table 1 memory system.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:      Config{SizeBytes: 64 << 10, BlockSize: 64, Ways: 2, Latency: 1},
+		DL1:      Config{SizeBytes: 64 << 10, BlockSize: 64, Ways: 2, Latency: 1},
+		UL2:      Config{SizeBytes: 1 << 20, BlockSize: 64, Ways: 4, Latency: 20},
+		MemFirst: 300,
+		MemInter: 6,
+	}
+}
+
+type line struct {
+	tag   uint64
+	lru   uint32
+	valid bool
+}
+
+// Stats counts accesses and misses at one level.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	shift    uint // log2(BlockSize)
+	lines    []line
+	tick     uint32
+	Stats    Stats
+	perTh    []Stats // per-thread stats (for DCRA's classification)
+	contexts int
+}
+
+// NewCache builds a level sized for the given number of hardware contexts'
+// statistics.
+func NewCache(cfg Config, contexts int) *Cache {
+	sets := cfg.Sets()
+	shift := uint(0)
+	for 1<<shift < cfg.BlockSize {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		shift:    shift,
+		lines:    make([]line, sets*cfg.Ways),
+		perTh:    make([]Stats, contexts),
+		contexts: contexts,
+	}
+}
+
+// Clone returns a deep copy.
+func (c *Cache) Clone() *Cache {
+	n := *c
+	n.lines = append([]line(nil), c.lines...)
+	n.perTh = append([]Stats(nil), c.perTh...)
+	return &n
+}
+
+// ThreadStats returns the per-thread statistics for hardware context th.
+func (c *Cache) ThreadStats(th int) Stats { return c.perTh[th] }
+
+// ResetThreadStats zeroes per-thread and aggregate counters (used at epoch
+// boundaries by policies that sample interval miss counts).
+func (c *Cache) ResetThreadStats() {
+	for i := range c.perTh {
+		c.perTh[i] = Stats{}
+	}
+}
+
+// Access probes the cache for addr on behalf of thread th, fills on miss,
+// and reports whether it hit.
+func (c *Cache) Access(th int, addr uint64) (hit bool) {
+	tag := addr >> c.shift
+	set := int(tag % uint64(c.sets))
+	base := set * c.cfg.Ways
+	c.Stats.Accesses++
+	c.perTh[th].Accesses++
+	c.tick++
+	victim := base
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			return true
+		}
+		if !l.valid {
+			victim = base + i
+		} else if c.lines[victim].valid && l.lru < c.lines[victim].lru {
+			victim = base + i
+		}
+	}
+	c.Stats.Misses++
+	c.perTh[th].Misses++
+	c.lines[victim] = line{tag: tag, lru: c.tick, valid: true}
+	return false
+}
+
+// Probe reports whether addr is present without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.shift
+	set := int(tag % uint64(c.sets))
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy is the full three-level memory system.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	IL1 *Cache
+	DL1 *Cache
+	UL2 *Cache
+}
+
+// NewHierarchy builds the memory system for the given number of contexts.
+func NewHierarchy(cfg HierarchyConfig, contexts int) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		IL1: NewCache(cfg.IL1, contexts),
+		DL1: NewCache(cfg.DL1, contexts),
+		UL2: NewCache(cfg.UL2, contexts),
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{cfg: h.cfg, IL1: h.IL1.Clone(), DL1: h.DL1.Clone(), UL2: h.UL2.Clone()}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Load performs a data load for thread th and returns the load-to-use
+// latency plus whether the access missed in the L2 (a long-latency,
+// memory-bound miss — the trigger for FLUSH/STALL-style policies).
+func (h *Hierarchy) Load(th int, addr uint64) (latency int, l2miss bool) {
+	if h.DL1.Access(th, addr) {
+		return h.cfg.DL1.Latency, false
+	}
+	if h.UL2.Access(th, addr) {
+		return h.cfg.DL1.Latency + h.cfg.UL2.Latency, false
+	}
+	return h.cfg.DL1.Latency + h.cfg.UL2.Latency + h.cfg.MemFirst, true
+}
+
+// Store performs a data store for thread th (write-allocate, write-back;
+// retirement-time write, so no latency is returned to the pipeline).
+func (h *Hierarchy) Store(th int, addr uint64) {
+	if h.DL1.Access(th, addr) {
+		return
+	}
+	h.UL2.Access(th, addr)
+}
+
+// Fetch performs an instruction fetch for thread th and returns the fetch
+// latency.
+func (h *Hierarchy) Fetch(th int, pc uint64) (latency int) {
+	if h.IL1.Access(th, pc) {
+		return h.cfg.IL1.Latency
+	}
+	if h.UL2.Access(th, pc) {
+		return h.cfg.IL1.Latency + h.cfg.UL2.Latency
+	}
+	return h.cfg.IL1.Latency + h.cfg.UL2.Latency + h.cfg.MemFirst
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"testing"
+
+	"smthill/internal/isa"
+	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
+	"smthill/internal/resource"
+	"smthill/internal/trace"
+)
+
+func ilpProfile(seed uint64) trace.Profile {
+	return trace.Profile{
+		Name: "ilp", Seed: seed,
+		A: trace.Params{
+			FracLoad: 0.2, FracStore: 0.1,
+			FracFp: 0.2, FracMulDiv: 0.05,
+			ChainDep: 0.15, WorkingSet: 16 << 10, StridePct: 0.8,
+			BranchNoise: 0.02,
+		},
+	}
+}
+
+func mlpProfile(seed uint64) trace.Profile {
+	// Memory-level-parallelism heavy: bursts of independent misses that
+	// reward a large window partition.
+	return trace.Profile{
+		Name: "mlp", Seed: seed,
+		A: trace.Params{
+			FracLoad: 0.3, FracStore: 0.05,
+			FracFp: 0.1, FracMulDiv: 0.02,
+			ChainDep: 0.1, WorkingSet: 32 << 10, StridePct: 0.7,
+			MissBurstProb: 0.03, BurstLen: 6,
+			BranchNoise: 0.01,
+		},
+	}
+}
+
+func machineFor(profs []trace.Profile, pol pipeline.Policy) *pipeline.Machine {
+	streams := make([]isa.Stream, len(profs))
+	for i, p := range profs {
+		streams[i] = trace.New(p)
+	}
+	return pipeline.New(pipeline.DefaultConfig(len(profs)), streams, pol)
+}
+
+const testEpoch = 16 * 1024 // shorter epochs keep the tests fast
+
+func TestRunnerBasics(t *testing.T) {
+	m := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	r := NewRunner(m, None{Label: "ICOUNT"}, metrics.AvgIPC)
+	r.EpochSize = testEpoch
+	results := r.Run(5)
+	if len(results) != 5 || len(r.Results()) != 5 {
+		t.Fatalf("recorded %d results", len(r.Results()))
+	}
+	for i, e := range results {
+		if e.Index != i {
+			t.Fatalf("epoch %d has index %d", i, e.Index)
+		}
+		if e.Score <= 0 {
+			t.Fatalf("epoch %d score %f", i, e.Score)
+		}
+		if len(e.IPC) != 2 || len(e.Committed) != 2 {
+			t.Fatal("per-thread vectors wrong length")
+		}
+		if e.Sample {
+			t.Fatal("AvgIPC run should never sample SingleIPC")
+		}
+	}
+	if m.Stats().Cycles != uint64(5*testEpoch) {
+		t.Fatalf("machine ran %d cycles", m.Stats().Cycles)
+	}
+}
+
+func TestRunnerSamplingSchedule(t *testing.T) {
+	m := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	hill := NewHillClimber(2, 256, metrics.WeightedIPC)
+	r := NewRunner(m, hill, metrics.WeightedIPC)
+	r.EpochSize = testEpoch
+	r.SamplePeriod = 10
+	results := r.Run(25)
+	var samples []int
+	for _, e := range results {
+		if e.Sample {
+			samples = append(samples, e.Index)
+		}
+	}
+	// Bootstrap samples for both threads, then one sample every
+	// SamplePeriod epochs, rotating threads.
+	want := []int{0, 1, 10, 20}
+	if len(samples) != len(want) {
+		t.Fatalf("sample epochs = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("sample epochs = %v, want %v", samples, want)
+		}
+	}
+	singles := r.Singles()
+	if singles[0] <= 0 || singles[1] <= 0 {
+		t.Fatalf("singles not learned: %v", singles)
+	}
+}
+
+func TestRunnerReferenceSinglesDisableSampling(t *testing.T) {
+	m := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	r := NewRunner(m, None{}, metrics.WeightedIPC)
+	r.EpochSize = testEpoch
+	r.ReferenceSingles = []float64{2, 2}
+	for _, e := range r.Run(10) {
+		if e.Sample {
+			t.Fatal("sampled despite reference singles")
+		}
+	}
+}
+
+func TestSampleEpochMeasuresOnlyOneThread(t *testing.T) {
+	m := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	r := NewRunner(m, NewHillClimber(2, 256, metrics.WeightedIPC), metrics.WeightedIPC)
+	r.EpochSize = testEpoch
+	e := r.RunEpoch() // epoch 0 is a bootstrap sample of thread 0
+	if !e.Sample || e.SampledThread != 0 {
+		t.Fatalf("first epoch = %+v, want sample of thread 0", e)
+	}
+	if e.Committed[1] > e.Committed[0]/10 {
+		t.Fatalf("disabled thread committed %d vs sampled thread %d", e.Committed[1], e.Committed[0])
+	}
+}
+
+func TestHillClimberRoundStructure(t *testing.T) {
+	h := NewHillClimber(2, 256, metrics.AvgIPC)
+	// First trial favours thread 0.
+	s0 := h.Decide(nil)
+	if s0[0] != 128+DefaultDelta || s0[1] != 128-DefaultDelta {
+		t.Fatalf("first trial = %v", s0)
+	}
+	// Second favours thread 1.
+	s1 := h.Decide(&EpochResult{Score: 1.0, Shares: s0})
+	if s1[1] != 128+DefaultDelta || s1[0] != 128-DefaultDelta {
+		t.Fatalf("second trial = %v", s1)
+	}
+	// Round ends: thread 1's trial scored higher, so the anchor moves
+	// toward thread 1 and the next trial favours thread 0 again.
+	s2 := h.Decide(&EpochResult{Score: 2.0, Shares: s1})
+	anchor := h.Anchor()
+	if anchor[1] != 128+DefaultDelta || anchor[0] != 128-DefaultDelta {
+		t.Fatalf("anchor after round = %v", anchor)
+	}
+	if s2[0] != anchor[0]+DefaultDelta || s2[1] != anchor[1]-DefaultDelta {
+		t.Fatalf("third trial = %v for anchor %v", s2, anchor)
+	}
+}
+
+func TestHillClimberSumInvariant(t *testing.T) {
+	h := NewHillClimber(4, 256, metrics.AvgIPC)
+	var prev *EpochResult
+	score := 1.0
+	for i := 0; i < 200; i++ {
+		s := h.Decide(prev)
+		if s.Sum() != 256 {
+			t.Fatalf("trial %d sums to %d", i, s.Sum())
+		}
+		for _, v := range s {
+			if v < resource.MinShare {
+				t.Fatalf("trial %d share below MinShare: %v", i, s)
+			}
+		}
+		score = 1.0 + 0.1*float64(i%3)
+		prev = &EpochResult{Score: score, Shares: s}
+	}
+}
+
+// TestHillClimbsSyntheticHill drives the climber with a synthetic
+// hill-shaped score (no simulation): it must walk the anchor to the peak.
+func TestHillClimbsSyntheticHill(t *testing.T) {
+	h := NewHillClimber(2, 256, metrics.AvgIPC)
+	peak := 200.0
+	score := func(s resource.Shares) float64 {
+		d := float64(s[0]) - peak
+		return 1 - d*d/65536
+	}
+	var prev *EpochResult
+	for i := 0; i < 150; i++ {
+		s := h.Decide(prev)
+		prev = &EpochResult{Score: score(s), Shares: s}
+	}
+	if a := h.Anchor(); float64(a[0]) < peak-12 || float64(a[0]) > peak+12 {
+		t.Fatalf("anchor %v did not reach peak at %0.f", a, peak)
+	}
+}
+
+func TestHillClimberSetAnchor(t *testing.T) {
+	h := NewHillClimber(2, 256, metrics.AvgIPC)
+	h.Decide(nil)
+	h.SetAnchor(resource.Shares{64, 192})
+	a := h.Anchor()
+	if a[0] != 64 || a[1] != 192 {
+		t.Fatalf("anchor = %v", a)
+	}
+}
+
+func TestEnumerateShares(t *testing.T) {
+	var got []resource.Shares
+	EnumerateShares(2, 256, 2, func(s resource.Shares) { got = append(got, s) })
+	// MinShare..(256-MinShare) step 2 => 121 trials.
+	if len(got) != 121 {
+		t.Fatalf("%d trials, want 121", len(got))
+	}
+	for _, s := range got {
+		if s.Sum() != 256 || s[0] < resource.MinShare || s[1] < resource.MinShare {
+			t.Fatalf("bad shares %v", s)
+		}
+	}
+	// Three threads with a coarse stride still cover the simplex.
+	n := 0
+	EnumerateShares(3, 256, 32, func(s resource.Shares) {
+		n++
+		if s.Sum() != 256 {
+			t.Fatalf("bad 3-way shares %v", s)
+		}
+	})
+	if n < 20 {
+		t.Fatalf("3-way enumeration produced only %d trials", n)
+	}
+}
+
+func TestOffLinePicksBestTrial(t *testing.T) {
+	m := machineFor([]trace.Profile{mlpProfile(1), ilpProfile(2)}, nil)
+	o := NewOffLine(m, metrics.AvgIPC, nil)
+	o.EpochSize = testEpoch
+	o.Stride = 32 // coarse for speed
+	e := o.RunEpoch()
+	if len(e.Trials) == 0 {
+		t.Fatal("no trials recorded")
+	}
+	for _, tr := range e.Trials {
+		if tr.Score > e.Score+1e-12 {
+			t.Fatalf("winner score %f below trial %f", e.Score, tr.Score)
+		}
+	}
+	// The machine advanced along the winner: its committed counts match
+	// the epoch record.
+	if e.Committed[0] == 0 && e.Committed[1] == 0 {
+		t.Fatal("no progress in winning epoch")
+	}
+}
+
+func TestOffLineBeatsWorstFixed(t *testing.T) {
+	// Over several epochs OFF-LINE must accumulate at least as many
+	// committed instructions as the worst fixed partitioning it
+	// explored (it picks the best each epoch).
+	profs := []trace.Profile{mlpProfile(3), ilpProfile(4)}
+	o := NewOffLine(machineFor(profs, nil), metrics.AvgIPC, nil)
+	o.EpochSize = testEpoch
+	o.Stride = 48
+	epochs := o.Run(4)
+
+	worst := machineFor(profs, nil)
+	worst.Resources().SetShares(resource.Shares{resource.MinShare, 256 - resource.MinShare})
+	worst.CycleN(4 * testEpoch)
+
+	var offline uint64
+	for _, e := range epochs {
+		offline += e.Committed[0] + e.Committed[1]
+	}
+	if offline < worst.Committed(0)+worst.Committed(1) {
+		t.Fatalf("OFF-LINE committed %d, worst fixed %d", offline, worst.Committed(0)+worst.Committed(1))
+	}
+}
+
+func TestRandHillRespectsBudget(t *testing.T) {
+	m := machineFor([]trace.Profile{mlpProfile(1), ilpProfile(2)}, nil)
+	r := NewRandHill(m, metrics.AvgIPC, nil)
+	r.EpochSize = testEpoch
+	r.MaxIters = 12
+	e := r.RunEpoch()
+	if len(e.Trials) > 13 { // budget + the initial anchor evaluation
+		t.Fatalf("RAND-HILL ran %d trials with budget 12", len(e.Trials))
+	}
+	for _, tr := range e.Trials {
+		if tr.Shares.Sum() != 256 {
+			t.Fatalf("trial shares %v", tr.Shares)
+		}
+		if tr.Score > e.Score+1e-12 {
+			t.Fatal("winner is not the best trial")
+		}
+	}
+}
+
+func TestRandHillDeterministic(t *testing.T) {
+	run := func() []Trial {
+		m := machineFor([]trace.Profile{mlpProfile(1), ilpProfile(2)}, nil)
+		r := NewRandHill(m, metrics.AvgIPC, nil)
+		r.EpochSize = 4096
+		r.MaxIters = 8
+		return r.RunEpoch().Trials
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			t.Fatalf("trial %d diverged", i)
+		}
+	}
+}
+
+func TestStaticAndFixedDistributors(t *testing.T) {
+	s := NewStatic(2, 256)
+	if got := s.Decide(nil); got[0] != 128 || got[1] != 128 {
+		t.Fatalf("static shares %v", got)
+	}
+	f := &Fixed{Shares: resource.Shares{100, 156}}
+	if got := f.Decide(nil); got[0] != 100 {
+		t.Fatalf("fixed shares %v", got)
+	}
+	if s.OverheadCycles() != 0 || f.OverheadCycles() != 0 {
+		t.Fatal("static/fixed should have no overhead")
+	}
+}
+
+func TestNoneNames(t *testing.T) {
+	if (None{}).Name() != "none" || (None{Label: "DCRA"}).Name() != "DCRA" {
+		t.Fatal("None naming wrong")
+	}
+}
+
+func TestHillOverheadCharged(t *testing.T) {
+	m := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	hill := NewHillClimber(2, 256, metrics.AvgIPC)
+	r := NewRunner(m, hill, metrics.AvgIPC)
+	r.EpochSize = testEpoch
+	withOverhead := r.Run(6)
+
+	m2 := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	hill2 := NewHillClimber(2, 256, metrics.AvgIPC)
+	hill2.Overhead = 0
+	r2 := NewRunner(m2, hill2, metrics.AvgIPC)
+	r2.EpochSize = testEpoch
+	without := r2.Run(6)
+
+	var a, b uint64
+	for i := range withOverhead {
+		a += withOverhead[i].Committed[0] + withOverhead[i].Committed[1]
+		b += without[i].Committed[0] + without[i].Committed[1]
+	}
+	if a >= b {
+		t.Fatalf("200-cycle overhead did not cost anything: %d vs %d", a, b)
+	}
+}
+
+func TestPhaseHillRunsAndLearns(t *testing.T) {
+	// A phased workload: the generator alternates between pole A and B.
+	p := mlpProfile(1)
+	p.Kind = trace.PhaseLow
+	p.SegLen = 30_000
+	p.B = p.A
+	p.B.MissBurstProb = 0
+	p.B.ChainDep = 0.5
+	m := machineFor([]trace.Profile{p, ilpProfile(2)}, nil)
+	ph := NewPhaseHill(2, 256, metrics.AvgIPC)
+	r := NewRunner(m, ph, metrics.AvgIPC)
+	r.EpochSize = testEpoch
+	r.Run(60)
+	if ph.Phases() < 2 {
+		t.Fatalf("detected %d phases in a phased workload", ph.Phases())
+	}
+}
+
+func TestPhaseHillDecidesValidShares(t *testing.T) {
+	ph := NewPhaseHill(2, 256, metrics.AvgIPC)
+	var prev *EpochResult
+	for i := 0; i < 50; i++ {
+		s := ph.Decide(prev)
+		if s.Sum() != 256 {
+			t.Fatalf("iteration %d shares %v", i, s)
+		}
+		bbv := make([][pipeline.BBVEntries]uint32, 2)
+		bbv[0][i%8] = 100 // rotate signatures to create phases
+		prev = &EpochResult{Score: 1, Shares: s, BBV: bbv}
+	}
+}
+
+func TestTotalsSince(t *testing.T) {
+	m := machineFor([]trace.Profile{ilpProfile(1), ilpProfile(2)}, nil)
+	r := NewRunner(m, None{}, metrics.AvgIPC)
+	r.EpochSize = testEpoch
+	r.Run(4)
+	ipc := r.TotalsSince(0)
+	if ipc[0] <= 0 || ipc[1] <= 0 {
+		t.Fatalf("totals = %v", ipc)
+	}
+	half := r.TotalsSince(2)
+	if half[0] <= 0 {
+		t.Fatalf("partial totals = %v", half)
+	}
+}

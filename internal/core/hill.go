@@ -1,0 +1,97 @@
+package core
+
+import (
+	"smthill/internal/metrics"
+	"smthill/internal/resource"
+)
+
+// DefaultDelta is the hill-climbing step size in integer rename registers
+// (Figure 8 uses Delta = 4).
+const DefaultDelta = 4
+
+// HillOverheadCycles is the full-machine stall charged per hill-climbing
+// invocation, modelling the software implementation (Section 4.2).
+const HillOverheadCycles = 200
+
+// HillClimber is the paper's on-line learning algorithm (Figure 8).
+//
+// Learning proceeds in rounds of T epochs. anchor is the
+// best-performing partitioning found so far. Epoch (id mod T) of a round
+// runs a trial that shifts Delta registers to thread (id mod T) from
+// every other thread; at the end of a round the anchor moves in the
+// direction of the best-scoring trial — the positive performance
+// gradient.
+type HillClimber struct {
+	// Delta is the shift step in rename registers.
+	Delta int
+	// Metric is recorded for reporting; the Runner computes scores.
+	Metric metrics.Kind
+	// Overhead is the per-invocation stall cost; DefaultOverhead if
+	// negative.
+	Overhead int
+
+	threads int
+	total   int
+	anchor  resource.Shares
+	perf    []float64
+	epochID int
+}
+
+// NewHillClimber returns a hill climber for a machine with the given
+// thread count and rename-register file size. The initial anchor is the
+// equal partitioning (Figure 8's footnote).
+func NewHillClimber(threads, renameRegs int, metric metrics.Kind) *HillClimber {
+	return &HillClimber{
+		Delta:    DefaultDelta,
+		Metric:   metric,
+		Overhead: HillOverheadCycles,
+		threads:  threads,
+		total:    renameRegs,
+		anchor:   resource.EqualShares(threads, renameRegs),
+		perf:     make([]float64, threads),
+	}
+}
+
+// Name implements Distributor.
+func (h *HillClimber) Name() string {
+	switch h.Metric {
+	case metrics.AvgIPC:
+		return "HILL-IPC"
+	case metrics.HmeanWeightedIPC:
+		return "HILL-HWIPC"
+	default:
+		return "HILL-WIPC"
+	}
+}
+
+// OverheadCycles implements Distributor.
+func (h *HillClimber) OverheadCycles() int { return h.Overhead }
+
+// Anchor returns the current best-known partitioning.
+func (h *HillClimber) Anchor() resource.Shares { return h.anchor.Clone() }
+
+// SetAnchor moves the anchor (used by the phase extension to restore a
+// previously learned partitioning) and restarts the current round.
+func (h *HillClimber) SetAnchor(s resource.Shares) {
+	h.anchor = s.Clone()
+	h.epochID -= h.epochID % h.threads // restart the round
+}
+
+// Decide implements Distributor: record the previous trial's score,
+// move the anchor at round boundaries, and emit the next trial.
+func (h *HillClimber) Decide(prev *EpochResult) resource.Shares {
+	if prev != nil {
+		h.perf[h.epochID%h.threads] = prev.Score
+		if h.epochID%h.threads == h.threads-1 {
+			best := 0
+			for i, v := range h.perf {
+				if v > h.perf[best] {
+					best = i
+				}
+			}
+			h.anchor = h.anchor.Shift(best, h.Delta)
+		}
+		h.epochID++
+	}
+	return h.anchor.Shift(h.epochID%h.threads, h.Delta)
+}

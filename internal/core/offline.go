@@ -1,0 +1,310 @@
+package core
+
+import (
+	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
+	"smthill/internal/resource"
+	"smthill/internal/rng"
+)
+
+// EnumerateShares calls f with every division of total rename registers
+// across threads where each share is at least MinShare and shares advance
+// in steps of stride. The enumeration matches the paper's exhaustive
+// search (stride 2 over 256 registers for 2 threads ≈ 127 trials).
+func EnumerateShares(threads, total, stride int, f func(resource.Shares)) {
+	if stride < 1 {
+		stride = 1
+	}
+	s := make(resource.Shares, threads)
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == threads-1 {
+			if remaining >= resource.MinShare {
+				s[i] = remaining
+				f(s.Clone())
+			}
+			return
+		}
+		reserve := resource.MinShare * (threads - 1 - i)
+		for v := resource.MinShare; remaining-v >= reserve; v += stride {
+			s[i] = v
+			rec(i+1, remaining-v)
+		}
+	}
+	rec(0, total)
+}
+
+// Trial records one sampled partitioning of an epoch's search.
+type Trial struct {
+	Shares resource.Shares
+	Score  float64
+	IPC    []float64
+}
+
+// OffLineEpoch is one epoch of an idealised (checkpoint-based) learning
+// run: the trials explored and the winner actually executed.
+type OffLineEpoch struct {
+	EpochResult
+	// Trials lists every partitioning sampled for this epoch (in
+	// enumeration order for OffLine; in visit order for RandHill).
+	Trials []Trial
+}
+
+// OffLine is the Section 3.1 ideal: at each epoch boundary the machine is
+// checkpointed, the epoch is executed once for every candidate
+// partitioning, and the machine advances along the best-scoring trial.
+// Only the winning trial's execution time is charged.
+type OffLine struct {
+	// M is the machine; it is replaced by the winning trial's machine
+	// after each epoch.
+	M *pipeline.Machine
+	// Metric scores trials.
+	Metric metrics.Kind
+	// Singles are the stand-alone IPCs used by the weighted metrics
+	// (known a priori in the ideal setting).
+	Singles []float64
+	// EpochSize is the epoch length in cycles.
+	EpochSize int
+	// Stride is the enumeration step in rename registers (the paper
+	// uses 2; larger strides trade fidelity for simulation time).
+	Stride int
+
+	epoch      int
+	lastCommit []uint64
+	epochs     []OffLineEpoch
+}
+
+// NewOffLine returns an OffLine searcher over m with the paper's default
+// epoch size and stride 2.
+func NewOffLine(m *pipeline.Machine, metric metrics.Kind, singles []float64) *OffLine {
+	return &OffLine{
+		M:         m,
+		Metric:    metric,
+		Singles:   singles,
+		EpochSize: DefaultEpochSize,
+		Stride:    2,
+	}
+}
+
+// Results returns the recorded epochs.
+func (o *OffLine) Results() []OffLineEpoch { return o.epochs }
+
+// measure computes the per-thread committed counts and IPCs of machine m
+// for the epoch that just ran, relative to baseline counts.
+func measureEpoch(m *pipeline.Machine, base []uint64, epochSize int) ([]uint64, []float64) {
+	t := m.Threads()
+	committed := make([]uint64, t)
+	ipc := make([]float64, t)
+	for th := 0; th < t; th++ {
+		committed[th] = m.Committed(th) - base[th]
+		ipc[th] = float64(committed[th]) / float64(epochSize)
+	}
+	return committed, ipc
+}
+
+func commitCounts(m *pipeline.Machine) []uint64 {
+	out := make([]uint64, m.Threads())
+	for th := range out {
+		out[th] = m.Committed(th)
+	}
+	return out
+}
+
+// RunEpoch checkpoints the machine, tries every candidate partitioning
+// for one epoch, advances along the best, and returns the epoch record.
+func (o *OffLine) RunEpoch() OffLineEpoch {
+	base := commitCounts(o.M)
+	total := o.M.Resources().Sizes()[resource.IntRename]
+
+	var best *pipeline.Machine
+	var bestTrial Trial
+	var trials []Trial
+	EnumerateShares(o.M.Threads(), total, o.Stride, func(s resource.Shares) {
+		trial := o.M.Clone()
+		trial.Resources().SetShares(s)
+		trial.CycleN(o.EpochSize)
+		_, ipc := measureEpoch(trial, base, o.EpochSize)
+		tr := Trial{Shares: s, Score: o.Metric.Eval(ipc, o.Singles), IPC: ipc}
+		trials = append(trials, tr)
+		if best == nil || tr.Score > bestTrial.Score {
+			best = trial
+			bestTrial = tr
+		}
+	})
+	if best == nil {
+		panic("core: share enumeration produced no trials")
+	}
+
+	o.M = best // advance along the winning trial; others cost nothing
+	committed, ipc := measureEpoch(o.M, base, o.EpochSize)
+	res := OffLineEpoch{
+		EpochResult: EpochResult{
+			Index:     o.epoch,
+			Shares:    bestTrial.Shares,
+			Committed: committed,
+			IPC:       ipc,
+			Score:     bestTrial.Score,
+		},
+		Trials: trials,
+	}
+	o.epoch++
+	o.epochs = append(o.epochs, res)
+	return res
+}
+
+// Run executes n epochs.
+func (o *OffLine) Run(n int) []OffLineEpoch {
+	out := make([]OffLineEpoch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, o.RunEpoch())
+	}
+	return out
+}
+
+// RandHill is the 4-thread ideal of Section 4.3: like OffLine it uses
+// checkpointing to search the current epoch with zero charged overhead,
+// but instead of exhaustive enumeration it performs hill-climbing passes
+// restarted from random anchors, bounded by a total trial budget of
+// MaxIters outer-loop iterations (the paper uses 128).
+type RandHill struct {
+	M         *pipeline.Machine
+	Metric    metrics.Kind
+	Singles   []float64
+	EpochSize int
+	// Delta is the hill step (Figure 8's 4).
+	Delta int
+	// MaxIters bounds the total number of trials per epoch.
+	MaxIters int
+	// Seed makes the random restarts deterministic.
+	Seed uint64
+
+	rng        rng.Rng
+	seeded     bool
+	epoch      int
+	epochs     []OffLineEpoch
+	lastAnchor resource.Shares
+}
+
+// NewRandHill returns a RandHill searcher with the paper's parameters.
+func NewRandHill(m *pipeline.Machine, metric metrics.Kind, singles []float64) *RandHill {
+	return &RandHill{
+		M:         m,
+		Metric:    metric,
+		Singles:   singles,
+		EpochSize: DefaultEpochSize,
+		Delta:     DefaultDelta,
+		MaxIters:  128,
+		Seed:      1,
+	}
+}
+
+// Results returns the recorded epochs.
+func (r *RandHill) Results() []OffLineEpoch { return r.epochs }
+
+// randomShares draws a random valid partitioning.
+func (r *RandHill) randomShares(threads, total int) resource.Shares {
+	// Draw T cut weights and scale to the distributable mass above the
+	// MinShare floor.
+	w := make([]float64, threads)
+	sum := 0.0
+	for i := range w {
+		w[i] = r.rng.Float64() + 1e-3
+		sum += w[i]
+	}
+	mass := total - resource.MinShare*threads
+	s := make(resource.Shares, threads)
+	used := 0
+	for i := range s {
+		extra := int(float64(mass) * w[i] / sum)
+		s[i] = resource.MinShare + extra
+		used += s[i]
+	}
+	s[threads-1] += total - used // absorb rounding
+	return s
+}
+
+// RunEpoch searches the current epoch with multi-start hill climbing and
+// advances the machine along the best partitioning found.
+func (r *RandHill) RunEpoch() OffLineEpoch {
+	if !r.seeded {
+		r.rng = rng.New(r.Seed)
+		r.seeded = true
+	}
+	base := commitCounts(r.M)
+	threads := r.M.Threads()
+	total := r.M.Resources().Sizes()[resource.IntRename]
+
+	var trials []Trial
+	var best *pipeline.Machine
+	var bestTrial Trial
+	iters := 0
+
+	eval := func(s resource.Shares) Trial {
+		trial := r.M.Clone()
+		trial.Resources().SetShares(s)
+		trial.CycleN(r.EpochSize)
+		_, ipc := measureEpoch(trial, base, r.EpochSize)
+		tr := Trial{Shares: s, Score: r.Metric.Eval(ipc, r.Singles), IPC: ipc}
+		trials = append(trials, tr)
+		iters++
+		if best == nil || tr.Score > bestTrial.Score {
+			best = trial
+			bestTrial = tr
+		}
+		return tr
+	}
+
+	anchor := r.lastAnchor
+	if anchor == nil {
+		anchor = resource.EqualShares(threads, total)
+	}
+	anchorScore := eval(anchor).Score
+
+	for iters < r.MaxIters {
+		// One hill-climbing pass: sample all T shift directions from the
+		// anchor, move while improving; on a peak, restart randomly.
+		improved := false
+		bestDir, bestDirScore := -1, anchorScore
+		for d := 0; d < threads && iters < r.MaxIters; d++ {
+			s := anchor.Shift(d, r.Delta)
+			if tr := eval(s); tr.Score > bestDirScore {
+				bestDir, bestDirScore = d, tr.Score
+			}
+		}
+		if bestDir >= 0 {
+			anchor = anchor.Shift(bestDir, r.Delta)
+			anchorScore = bestDirScore
+			improved = true
+		}
+		if !improved && iters < r.MaxIters {
+			anchor = r.randomShares(threads, total)
+			anchorScore = eval(anchor).Score
+		}
+	}
+
+	r.M = best
+	r.lastAnchor = bestTrial.Shares
+	committed, ipc := measureEpoch(r.M, base, r.EpochSize)
+	res := OffLineEpoch{
+		EpochResult: EpochResult{
+			Index:     r.epoch,
+			Shares:    bestTrial.Shares,
+			Committed: committed,
+			IPC:       ipc,
+			Score:     bestTrial.Score,
+		},
+		Trials: trials,
+	}
+	r.epoch++
+	r.epochs = append(r.epochs, res)
+	return res
+}
+
+// Run executes n epochs.
+func (r *RandHill) Run(n int) []OffLineEpoch {
+	out := make([]OffLineEpoch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.RunEpoch())
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"smthill/internal/metrics"
+	"smthill/internal/resource"
+	"smthill/internal/trace"
+)
+
+// TestOffLineAdvancesContinuously: the machine's committed counts across
+// OFF-LINE epochs are monotone and consistent with the per-epoch records
+// (the winner's state is carried forward, not re-simulated).
+func TestOffLineAdvancesContinuously(t *testing.T) {
+	o := NewOffLine(machineFor([]trace.Profile{mlpProfile(1), ilpProfile(2)}, nil), metrics.AvgIPC, nil)
+	o.EpochSize = 8 * 1024
+	o.Stride = 64
+	var cum [2]uint64
+	for e := 0; e < 4; e++ {
+		res := o.RunEpoch()
+		cum[0] += res.Committed[0]
+		cum[1] += res.Committed[1]
+		if o.M.Committed(0) != cum[0] || o.M.Committed(1) != cum[1] {
+			t.Fatalf("epoch %d: machine committed (%d,%d), records sum (%d,%d)",
+				e, o.M.Committed(0), o.M.Committed(1), cum[0], cum[1])
+		}
+	}
+}
+
+// TestOffLineWinnerSharesAreValid: every winning partition is a legal
+// division of the rename registers.
+func TestOffLineWinnerSharesAreValid(t *testing.T) {
+	o := NewOffLine(machineFor([]trace.Profile{mlpProfile(3), ilpProfile(4)}, nil), metrics.AvgIPC, nil)
+	o.EpochSize = 8 * 1024
+	o.Stride = 48
+	for e := 0; e < 3; e++ {
+		res := o.RunEpoch()
+		if !res.Shares.Valid(256) {
+			t.Fatalf("epoch %d winner %v invalid", e, res.Shares)
+		}
+	}
+}
+
+// TestRandHillReusesLastAnchor: the second epoch's first trial starts
+// from the previous epoch's winner, not from the equal split.
+func TestRandHillReusesLastAnchor(t *testing.T) {
+	r := NewRandHill(machineFor([]trace.Profile{mlpProfile(1), ilpProfile(2)}, nil), metrics.AvgIPC, nil)
+	r.EpochSize = 4 * 1024
+	r.MaxIters = 6
+	first := r.RunEpoch()
+	second := r.RunEpoch()
+	got := second.Trials[0].Shares
+	want := first.Shares
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("second epoch started from %v, want previous winner %v", got, want)
+	}
+}
+
+// TestRandHillRandomSharesValid: the random restart generator always
+// produces legal partitions.
+func TestRandHillRandomSharesValid(t *testing.T) {
+	r := NewRandHill(machineFor([]trace.Profile{mlpProfile(1), ilpProfile(2), mlpProfile(3), ilpProfile(4)}, nil), metrics.AvgIPC, nil)
+	r.seeded = true
+	for i := 0; i < 500; i++ {
+		s := r.randomShares(4, 256)
+		if s.Sum() != 256 {
+			t.Fatalf("random shares %v sum %d", s, s.Sum())
+		}
+		for _, v := range s {
+			if v < resource.MinShare {
+				t.Fatalf("random shares %v below MinShare", s)
+			}
+		}
+	}
+}

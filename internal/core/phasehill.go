@@ -1,0 +1,88 @@
+package core
+
+import (
+	"smthill/internal/metrics"
+	"smthill/internal/phase"
+	"smthill/internal/pipeline"
+	"smthill/internal/resource"
+)
+
+// PhaseHill is the Section 5 extension of hill-climbing: epochs are
+// classified into phases by their BBV signatures, an RLE Markov predictor
+// anticipates the next epoch's phase, and when the predicted phase has a
+// previously learned partitioning the climber's anchor jumps straight to
+// it instead of re-learning — attacking the finite-learning-time (TL)
+// weakness of plain hill-climbing.
+type PhaseHill struct {
+	Hill *HillClimber
+
+	det  *phase.Detector
+	pred *phase.Predictor
+
+	best      map[int]phaseBest
+	lastPhase int
+	// Jumps counts anchor restorations from the phase table (reported
+	// by the Section 5 experiment).
+	Jumps int
+}
+
+type phaseBest struct {
+	shares resource.Shares
+	score  float64
+}
+
+// NewPhaseHill returns a phase-aware hill climber.
+func NewPhaseHill(threads, renameRegs int, metric metrics.Kind) *PhaseHill {
+	return &PhaseHill{
+		Hill:      NewHillClimber(threads, renameRegs, metric),
+		det:       phase.NewDetector(),
+		pred:      phase.NewPredictor(),
+		best:      make(map[int]phaseBest),
+		lastPhase: -1,
+	}
+}
+
+// Name implements Distributor.
+func (p *PhaseHill) Name() string { return p.Hill.Name() + "+PHASE" }
+
+// OverheadCycles implements Distributor.
+func (p *PhaseHill) OverheadCycles() int { return p.Hill.OverheadCycles() }
+
+// Phases returns the number of distinct phases detected so far.
+func (p *PhaseHill) Phases() int { return p.det.Phases() }
+
+// concatBBV flattens the per-thread BBVs into one signature.
+func concatBBV(bbv [][pipeline.BBVEntries]uint32) []uint32 {
+	out := make([]uint32, 0, len(bbv)*pipeline.BBVEntries)
+	for _, v := range bbv {
+		out = append(out, v[:]...)
+	}
+	return out
+}
+
+// Decide implements Distributor.
+func (p *PhaseHill) Decide(prev *EpochResult) resource.Shares {
+	if prev == nil || len(prev.BBV) == 0 {
+		return p.Hill.Decide(prev)
+	}
+	id := p.det.Classify(concatBBV(prev.BBV))
+	p.pred.Observe(id)
+	p.lastPhase = id
+
+	// Remember the best partitioning seen inside each phase.
+	if prev.Shares != nil {
+		if b, ok := p.best[id]; !ok || prev.Score > b.score {
+			p.best[id] = phaseBest{shares: prev.Shares.Clone(), score: prev.Score}
+		}
+	}
+
+	// If a different phase is predicted next and we have learned it
+	// before, jump the anchor to its best-known partitioning.
+	if next := p.pred.Predict(); next != id {
+		if b, ok := p.best[next]; ok {
+			p.Hill.SetAnchor(b.shares)
+			p.Jumps++
+		}
+	}
+	return p.Hill.Decide(prev)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
+	"smthill/internal/resource"
+)
+
+// fakeEpoch builds an EpochResult with a BBV signature concentrated on
+// one block, a score, and the shares used.
+func fakeEpoch(block int, score float64, shares resource.Shares) *EpochResult {
+	bbv := make([][pipeline.BBVEntries]uint32, 2)
+	bbv[0][block%pipeline.BBVEntries] = 1000
+	bbv[1][(block+7)%pipeline.BBVEntries] = 1000
+	return &EpochResult{Score: score, Shares: shares, BBV: bbv}
+}
+
+// TestPhaseHillJumpsToLearnedAnchor drives the distributor with a
+// synthetic periodic phase schedule and verifies that once both phases
+// have learned partitions, a predicted phase change moves the anchor.
+func TestPhaseHillJumpsToLearnedAnchor(t *testing.T) {
+	ph := NewPhaseHill(2, 256, metrics.AvgIPC)
+	// Alternate two phases in runs of 4 epochs each; phase 0 scores best
+	// at skewed shares, phase 1 at the opposite skew. Feed many rounds
+	// so the predictor learns the run lengths.
+	var prev *EpochResult
+	for e := 0; e < 120; e++ {
+		s := ph.Decide(prev)
+		phase := (e / 4) % 2
+		block := 3
+		score := 1.0
+		if phase == 1 {
+			block = 40
+			// Reward shares favouring thread 1 in phase 1.
+			score = 0.5 + float64(s[1])/256
+		} else {
+			score = 0.5 + float64(s[0])/256
+		}
+		prev = fakeEpoch(block, score, s)
+	}
+	if ph.Phases() < 2 {
+		t.Fatalf("detected %d phases", ph.Phases())
+	}
+	if ph.Jumps == 0 {
+		t.Fatal("no anchor jumps despite a learned periodic schedule")
+	}
+}
+
+// TestPhaseHillNameAndOverhead checks the wrapper delegates to the
+// underlying climber.
+func TestPhaseHillNameAndOverhead(t *testing.T) {
+	ph := NewPhaseHill(2, 256, metrics.WeightedIPC)
+	if ph.Name() != "HILL-WIPC+PHASE" {
+		t.Fatalf("name = %q", ph.Name())
+	}
+	if ph.OverheadCycles() != HillOverheadCycles {
+		t.Fatalf("overhead = %d", ph.OverheadCycles())
+	}
+}
+
+// TestConcatBBV flattens per-thread vectors in thread order.
+func TestConcatBBV(t *testing.T) {
+	bbv := make([][pipeline.BBVEntries]uint32, 2)
+	bbv[0][0] = 1
+	bbv[1][0] = 2
+	flat := concatBBV(bbv)
+	if len(flat) != 2*pipeline.BBVEntries {
+		t.Fatalf("len = %d", len(flat))
+	}
+	if flat[0] != 1 || flat[pipeline.BBVEntries] != 2 {
+		t.Fatal("order wrong")
+	}
+}

@@ -1,0 +1,140 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation from the rebuilt system. Each experiment returns structured
+// rows; cmd/experiments formats them as text, and bench_test.go exposes
+// each one as a benchmark.
+//
+// The paper simulates 100M–1B instructions per run; the Config defaults
+// are scaled down so the whole suite regenerates in minutes. Shapes —
+// which technique wins, by roughly what factor, and where the crossovers
+// fall — are the reproduction target, not absolute IPCs (see DESIGN.md).
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"smthill/internal/core"
+	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
+	"smthill/internal/policy"
+	"smthill/internal/resource"
+	"smthill/internal/workload"
+)
+
+// renameKind is the partition axis (integer rename registers).
+const renameKind = resource.IntRename
+
+// Config scales the experiments.
+type Config struct {
+	// EpochSize is the epoch length in cycles (the paper's 64K).
+	EpochSize int
+	// Epochs is the number of measured epochs per workload/technique.
+	Epochs int
+	// WarmupEpochs run before measurement to fill caches and predictors.
+	WarmupEpochs int
+	// OffLineStride is the exhaustive-search step in rename registers
+	// (the paper's 2; larger is proportionally cheaper).
+	OffLineStride int
+	// RandHillIters bounds RAND-HILL's per-epoch trial budget (the
+	// paper's 128).
+	RandHillIters int
+	// SoloCycles sizes the stand-alone reference runs for SingleIPC.
+	SoloCycles int
+}
+
+// Default returns the scaled-down configuration used by the benchmarks.
+func Default() Config {
+	return Config{
+		EpochSize:     core.DefaultEpochSize,
+		Epochs:        40,
+		WarmupEpochs:  2,
+		OffLineStride: 16,
+		RandHillIters: 24,
+		SoloCycles:    8 * core.DefaultEpochSize,
+	}
+}
+
+// Paper returns the full-scale configuration matching the paper's
+// methodology (expensive: hours of simulation).
+func Paper() Config {
+	c := Default()
+	c.Epochs = 240 // ~1B instructions at the paper's IPCs
+	c.OffLineStride = 2
+	c.RandHillIters = 128
+	c.SoloCycles = 64 * core.DefaultEpochSize
+	return c
+}
+
+// soloIPC measures an application's stand-alone IPC on a fresh machine
+// with full resources.
+func soloIPC(app workload.App, cycles int) float64 {
+	w := workload.Workload{Apps: []string{app.Name}}
+	m := w.NewMachine(nil)
+	m.CycleN(cycles)
+	return float64(m.Committed(0)) / float64(cycles)
+}
+
+// Singles returns the stand-alone reference IPC of each member of w.
+func Singles(cfg Config, w workload.Workload) []float64 {
+	out := make([]float64, w.Threads())
+	for i, name := range w.Apps {
+		out[i] = soloIPC(workload.Get(name), cfg.SoloCycles)
+	}
+	return out
+}
+
+// techniques returns the baseline per-cycle policies of the comparison.
+func baselineNames() []string { return []string{"ICOUNT", "FLUSH", "DCRA"} }
+
+// runBaseline measures one baseline policy on w and returns the
+// per-thread IPCs over the measured epochs.
+func runBaseline(cfg Config, w workload.Workload, polName string) []float64 {
+	m := w.NewMachine(policy.ByName(polName))
+	m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
+	r := core.NewRunner(m, core.None{Label: polName}, metrics.WeightedIPC)
+	r.EpochSize = cfg.EpochSize
+	r.SamplePeriod = 0 // baselines do not sample
+	r.Run(cfg.Epochs)
+	return r.TotalsSince(0)
+}
+
+// runHill measures hill-climbing with the given feedback metric on w.
+func runHill(cfg Config, w workload.Workload, feedback metrics.Kind) []float64 {
+	m := w.NewMachine(nil)
+	m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
+	hill := core.NewHillClimber(w.Threads(), m.Resources().Sizes()[renameKind], feedback)
+	r := core.NewRunner(m, hill, feedback)
+	r.EpochSize = cfg.EpochSize
+	r.Run(cfg.Epochs)
+	return r.TotalsSince(0)
+}
+
+// pipelinePolicy returns a fresh per-cycle policy instance by name.
+func pipelinePolicy(name string) pipeline.Policy { return policy.ByName(name) }
+
+// commitVector snapshots per-thread committed counts.
+func commitVector(m *pipeline.Machine) []uint64 {
+	out := make([]uint64, m.Threads())
+	for th := range out {
+		out[th] = m.Committed(th)
+	}
+	return out
+}
+
+// ipcSince converts committed-count deltas into per-thread IPCs.
+func ipcSince(m *pipeline.Machine, base []uint64, cycles int) []float64 {
+	out := make([]float64, m.Threads())
+	for th := range out {
+		out[th] = float64(m.Committed(th)-base[th]) / float64(cycles)
+	}
+	return out
+}
+
+// Fprintf-style row writer shared by the CLI.
+type table struct {
+	w io.Writer
+}
+
+func (t table) row(format string, args ...any) {
+	fmt.Fprintf(t.w, format+"\n", args...)
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"smthill/internal/workload"
+)
+
+func TestFigure12WorkloadsAreValid(t *testing.T) {
+	wls := Figure12Workloads()
+	if len(wls) != 5 {
+		t.Fatalf("%d representative workloads, want 5", len(wls))
+	}
+	wantClasses := map[string]bool{"TS": false, "SS": false, "TL": false, "SL": false, "JL": false}
+	for name, label := range wls {
+		workload.ByName(name) // panics if unknown
+		matched := false
+		for class := range wantClasses {
+			if strings.HasPrefix(label, class) {
+				wantClasses[class] = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("workload %s has unclassified label %q", name, label)
+		}
+	}
+	for class, seen := range wantClasses {
+		if !seen {
+			t.Errorf("behaviour class %s missing from the representative set", class)
+		}
+	}
+}
+
+func TestFigure12WorkloadsAreTwoThread(t *testing.T) {
+	for name := range Figure12Workloads() {
+		if w := workload.ByName(name); w.Threads() != 2 {
+			t.Errorf("%s has %d threads; Figure 12 uses 2-thread workloads", name, w.Threads())
+		}
+	}
+}

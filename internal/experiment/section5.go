@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"io"
+
+	"smthill/internal/core"
+	"smthill/internal/metrics"
+	"smthill/internal/workload"
+)
+
+// Section5Row compares plain hill-climbing with the phase-detection and
+// -prediction extension on one workload.
+type Section5Row struct {
+	Workload string
+	Group    string
+	// Behaviour is the predicted time-varying behaviour label (the
+	// extension mainly helps TL workloads).
+	Behaviour string
+	Hill      float64
+	PhaseHill float64
+	// Phases is the number of distinct phases detected.
+	Phases int
+	// Jumps counts anchor restorations from the phase table.
+	Jumps int
+}
+
+// runPhaseHill measures the Section 5 technique on w.
+func runPhaseHill(cfg Config, w workload.Workload) ([]float64, *core.PhaseHill) {
+	m := w.NewMachine(nil)
+	m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
+	ph := core.NewPhaseHill(w.Threads(), m.Resources().Sizes()[renameKind], metrics.WeightedIPC)
+	r := core.NewRunner(m, ph, metrics.WeightedIPC)
+	r.EpochSize = cfg.EpochSize
+	r.Run(cfg.Epochs)
+	return r.TotalsSince(0), ph
+}
+
+// Section5 measures HILL-WIPC with and without phase support.
+func Section5(cfg Config, loads []workload.Workload) []Section5Row {
+	rows := make([]Section5Row, 0, len(loads))
+	for _, w := range loads {
+		singles := Singles(cfg, w)
+		hill := endScoreW(cfg, w, singles)
+		ipc, ph := runPhaseHill(cfg, w)
+		rows = append(rows, Section5Row{
+			Workload:  w.Name(),
+			Group:     w.Group,
+			Behaviour: PredictBehaviour(DeriveLabel(w)),
+			Hill:      hill,
+			PhaseHill: endScore(metrics.WeightedIPC, ipc, singles),
+			Phases:    ph.Phases(),
+			Jumps:     ph.Jumps,
+		})
+	}
+	return rows
+}
+
+// Section5Boost returns the mean relative gain of the phase extension,
+// overall and restricted to TL-class workloads (the paper reports 0.4%
+// overall and 2.1% on TL workloads).
+func Section5Boost(rows []Section5Row) (overall, tlOnly float64) {
+	sum, n := 0.0, 0
+	tlSum, tlN := 0.0, 0
+	for _, r := range rows {
+		if r.Hill <= 0 {
+			continue
+		}
+		g := r.PhaseHill/r.Hill - 1
+		sum += g
+		n++
+		if r.Behaviour == "TL" || r.Behaviour == "TLJL" {
+			tlSum += g
+			tlN++
+		}
+	}
+	if n > 0 {
+		overall = sum / float64(n)
+	}
+	if tlN > 0 {
+		tlOnly = tlSum / float64(tlN)
+	}
+	return overall, tlOnly
+}
+
+// WriteSection5 renders the comparison.
+func WriteSection5(w io.Writer, rows []Section5Row) {
+	t := table{w}
+	t.row("%-7s %-28s %-9s %10s %12s %7s %6s", "Group", "Workload", "Behaviour", "HILL", "HILL+PHASE", "Phases", "Jumps")
+	for _, r := range rows {
+		t.row("%-7s %-28s %-9s %10.3f %12.3f %7d %6d",
+			r.Group, r.Workload, r.Behaviour, r.Hill, r.PhaseHill, r.Phases, r.Jumps)
+	}
+	overall, tl := Section5Boost(rows)
+	t.row("%s", "")
+	t.row("phase extension boost: %+.2f%% overall, %+.2f%% on TL workloads",
+		100*overall, 100*tl)
+}

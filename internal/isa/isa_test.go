@@ -1,0 +1,85 @@
+package isa
+
+import "testing"
+
+func TestClassString(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		s := c.String()
+		if s == "" {
+			t.Fatalf("class %d has empty name", c)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Fatalf("unknown class name = %q", got)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		want := c == Load || c == Store
+		if c.IsMem() != want {
+			t.Fatalf("%v.IsMem() = %v", c, c.IsMem())
+		}
+	}
+}
+
+func TestIsFp(t *testing.T) {
+	fp := map[Class]bool{FpAlu: true, FpMul: true, FpDiv: true}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.IsFp() != fp[c] {
+			t.Fatalf("%v.IsFp() = %v", c, c.IsFp())
+		}
+	}
+}
+
+func TestExecLatencyPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.ExecLatency() < 1 {
+			t.Fatalf("%v latency %d < 1", c, c.ExecLatency())
+		}
+	}
+}
+
+func TestExecLatencyOrdering(t *testing.T) {
+	// Divides must be slower than multiplies, which are slower than adds.
+	if !(IntDiv.ExecLatency() > IntMul.ExecLatency() && IntMul.ExecLatency() > IntAlu.ExecLatency()) {
+		t.Fatal("integer latency ordering violated")
+	}
+	if !(FpDiv.ExecLatency() > FpMul.ExecLatency() && FpMul.ExecLatency() > FpAlu.ExecLatency()) {
+		t.Fatal("floating-point latency ordering violated")
+	}
+}
+
+func TestDestIsFp(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want bool
+	}{
+		{Inst{Class: IntAlu, Dest: 1}, false},
+		{Inst{Class: FpMul, Dest: 1}, true},
+		{Inst{Class: Load, Dest: 1, FpDest: false}, false},
+		{Inst{Class: Load, Dest: 1, FpDest: true}, true},
+		{Inst{Class: Store}, false},
+	}
+	for i, c := range cases {
+		if got := c.in.DestIsFp(); got != c.want {
+			t.Fatalf("case %d: DestIsFp = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	in := Inst{Dest: NoReg}
+	if in.HasDest() {
+		t.Fatal("NoReg reported as destination")
+	}
+	in.Dest = 0
+	if !in.HasDest() {
+		t.Fatal("register 0 not reported as destination")
+	}
+}

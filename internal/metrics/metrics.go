@@ -1,0 +1,93 @@
+// Package metrics implements the three SMT performance metrics of the
+// paper's Section 3.1.1 (equations 1–3). Each reflects a different goal:
+// average IPC quantifies throughput, average weighted IPC quantifies
+// execution-time reduction, and the harmonic mean of weighted IPC
+// balances performance and fairness.
+//
+// A key property of learning-based resource distribution is that any of
+// these can drive the learning directly — the technique optimises
+// whichever goal the user selects — so the same Kind values are used both
+// for feedback during learning and for end evaluation.
+package metrics
+
+import "fmt"
+
+// Kind selects a performance metric.
+type Kind int
+
+const (
+	// AvgIPC is equation (1): the arithmetic mean of per-thread IPCs.
+	AvgIPC Kind = iota
+	// WeightedIPC is equation (2): the mean of IPC_i / SingleIPC_i.
+	WeightedIPC
+	// HmeanWeightedIPC is equation (3): T / Σ (SingleIPC_i / IPC_i).
+	HmeanWeightedIPC
+	// NumKinds is the number of metrics.
+	NumKinds
+)
+
+// String returns the metric's name as used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case AvgIPC:
+		return "avg-ipc"
+	case WeightedIPC:
+		return "weighted-ipc"
+	case HmeanWeightedIPC:
+		return "hmean-weighted-ipc"
+	default:
+		return fmt.Sprintf("metric(%d)", int(k))
+	}
+}
+
+// NeedsSingleIPC reports whether the metric requires each thread's
+// stand-alone IPC. AvgIPC does not; the weighted metrics do, which is why
+// the hill-climbing implementation samples SingleIPC on-line
+// (Section 4.2).
+func (k Kind) NeedsSingleIPC() bool { return k != AvgIPC }
+
+// Eval computes the metric from per-thread IPCs and stand-alone IPCs.
+// single may be nil for AvgIPC. Threads whose stand-alone IPC is unknown
+// (zero) contribute a neutral weight of 1 so early epochs remain
+// comparable before sampling completes.
+func (k Kind) Eval(ipc, single []float64) float64 {
+	t := len(ipc)
+	if t == 0 {
+		return 0
+	}
+	switch k {
+	case AvgIPC:
+		sum := 0.0
+		for _, v := range ipc {
+			sum += v
+		}
+		return sum / float64(t)
+	case WeightedIPC:
+		sum := 0.0
+		for i, v := range ipc {
+			sum += v / singleOf(single, i)
+		}
+		return sum / float64(t)
+	case HmeanWeightedIPC:
+		den := 0.0
+		for i, v := range ipc {
+			if v <= 0 {
+				// A fully stalled thread makes the harmonic mean zero.
+				return 0
+			}
+			den += singleOf(single, i) / v
+		}
+		return float64(t) / den
+	default:
+		panic("metrics: unknown metric")
+	}
+}
+
+// singleOf returns the stand-alone IPC to weight thread i by, defaulting
+// to 1 when unknown.
+func singleOf(single []float64, i int) float64 {
+	if i >= len(single) || single[i] <= 0 {
+		return 1
+	}
+	return single[i]
+}

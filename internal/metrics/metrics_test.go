@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smthill/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAvgIPC(t *testing.T) {
+	if got := AvgIPC.Eval([]float64{2, 4}, nil); !almost(got, 3) {
+		t.Fatalf("AvgIPC = %f", got)
+	}
+}
+
+func TestWeightedIPC(t *testing.T) {
+	// Each thread at half its stand-alone speed -> weighted IPC 0.5.
+	got := WeightedIPC.Eval([]float64{1, 2}, []float64{2, 4})
+	if !almost(got, 0.5) {
+		t.Fatalf("WeightedIPC = %f", got)
+	}
+}
+
+func TestHmeanWeightedIPC(t *testing.T) {
+	// Equal slowdowns: harmonic mean equals the common weighted IPC.
+	got := HmeanWeightedIPC.Eval([]float64{1, 2}, []float64{2, 4})
+	if !almost(got, 0.5) {
+		t.Fatalf("HmeanWeightedIPC = %f", got)
+	}
+	// Unfair distribution scores below the fair one with the same total.
+	fair := HmeanWeightedIPC.Eval([]float64{1, 1}, []float64{2, 2})
+	unfair := HmeanWeightedIPC.Eval([]float64{1.8, 0.2}, []float64{2, 2})
+	if unfair >= fair {
+		t.Fatalf("harmonic mean did not penalise unfairness: %f vs %f", unfair, fair)
+	}
+}
+
+func TestHmeanZeroThread(t *testing.T) {
+	if got := HmeanWeightedIPC.Eval([]float64{0, 2}, []float64{2, 4}); got != 0 {
+		t.Fatalf("stalled thread should zero the harmonic mean, got %f", got)
+	}
+}
+
+func TestUnknownSingleDefaultsToOne(t *testing.T) {
+	if got := WeightedIPC.Eval([]float64{2, 3}, nil); !almost(got, 2.5) {
+		t.Fatalf("nil singles WeightedIPC = %f", got)
+	}
+	if got := WeightedIPC.Eval([]float64{2, 3}, []float64{0, 0}); !almost(got, 2.5) {
+		t.Fatalf("zero singles WeightedIPC = %f", got)
+	}
+}
+
+func TestNeedsSingleIPC(t *testing.T) {
+	if AvgIPC.NeedsSingleIPC() {
+		t.Fatal("AvgIPC should not need SingleIPC")
+	}
+	if !WeightedIPC.NeedsSingleIPC() || !HmeanWeightedIPC.NeedsSingleIPC() {
+		t.Fatal("weighted metrics need SingleIPC")
+	}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if got := k.Eval(nil, nil); got != 0 {
+			t.Fatalf("%v.Eval(nil) = %f", k, got)
+		}
+	}
+}
+
+// Monotonicity: improving any thread's IPC (with positive singles) never
+// decreases any metric.
+func TestMonotonicity(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(3)
+		ipc := make([]float64, n)
+		single := make([]float64, n)
+		for i := range ipc {
+			ipc[i] = 0.1 + 3*r.Float64()
+			single[i] = ipc[i] + 2*r.Float64()
+		}
+		up := append([]float64(nil), ipc...)
+		up[r.Intn(n)] *= 1.1
+		for k := Kind(0); k < NumKinds; k++ {
+			if k.Eval(up, single) < k.Eval(ipc, single)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Harmonic <= weighted arithmetic mean, always (AM-HM inequality on the
+// per-thread speedups).
+func TestHarmonicBelowArithmetic(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(3)
+		ipc := make([]float64, n)
+		single := make([]float64, n)
+		for i := range ipc {
+			ipc[i] = 0.1 + 3*r.Float64()
+			single[i] = 0.5 + 3*r.Float64()
+		}
+		return HmeanWeightedIPC.Eval(ipc, single) <= WeightedIPC.Eval(ipc, single)+1e-12
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

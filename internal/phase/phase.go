@@ -1,0 +1,176 @@
+// Package phase implements the program-phase machinery of the paper's
+// Section 5: Basic Block Vector (BBV) signature analysis for detecting
+// which epochs are similar (Sherwood et al., PACT 2001) and a run-length
+// encoded Markov predictor for predicting the next epoch's phase
+// (Sherwood et al., ISCA 2003).
+//
+// The paper uses a 64-entry BBV per SMT context, a table of 128 unique
+// phase IDs, and a 2048-entry RLE Markov predictor.
+package phase
+
+// DefaultMaxPhases is the phase-table capacity (the paper stores 128
+// unique phase IDs).
+const DefaultMaxPhases = 128
+
+// DefaultThreshold is the Manhattan-distance threshold (on signatures
+// normalised to sum 1) below which two epochs belong to the same phase.
+const DefaultThreshold = 0.35
+
+// Detector classifies epochs into phases by their concatenated
+// per-context BBV signatures.
+type Detector struct {
+	// Threshold is the Manhattan-distance match threshold.
+	Threshold float64
+	// MaxPhases caps the number of tracked phases; the least recently
+	// seen phase is evicted when the table is full.
+	MaxPhases int
+
+	sigs    [][]float64 // normalised signatures, indexed by phase ID
+	lastUse []int
+	clock   int
+}
+
+// NewDetector returns a Detector with the paper's parameters.
+func NewDetector() *Detector {
+	return &Detector{Threshold: DefaultThreshold, MaxPhases: DefaultMaxPhases}
+}
+
+// Phases returns the number of distinct phases seen so far.
+func (d *Detector) Phases() int { return len(d.sigs) }
+
+// normalize scales sig to sum 1 (all-zero signatures stay zero).
+func normalize(sig []uint32) []float64 {
+	out := make([]float64, len(sig))
+	sum := 0.0
+	for _, v := range sig {
+		sum += float64(v)
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, v := range sig {
+		out[i] = float64(v) / sum
+	}
+	return out
+}
+
+// manhattan returns the L1 distance between two equal-length vectors.
+func manhattan(a, b []float64) float64 {
+	dist := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		dist += d
+	}
+	return dist
+}
+
+// Classify assigns the epoch signature sig (the concatenation of every
+// context's BBV) to a phase ID, creating a new phase when no stored
+// signature is within Threshold. Signatures passed to the same Detector
+// must have equal length.
+func (d *Detector) Classify(sig []uint32) int {
+	n := normalize(sig)
+	d.clock++
+
+	bestID, bestDist := -1, d.Threshold
+	for id, s := range d.sigs {
+		if len(s) != len(n) {
+			continue
+		}
+		if dist := manhattan(s, n); dist < bestDist {
+			bestID, bestDist = id, dist
+		}
+	}
+	if bestID >= 0 {
+		// Drift the stored signature toward the new observation so a
+		// phase's representative tracks its slow evolution.
+		s := d.sigs[bestID]
+		for i := range s {
+			s[i] = 0.75*s[i] + 0.25*n[i]
+		}
+		d.lastUse[bestID] = d.clock
+		return bestID
+	}
+
+	if len(d.sigs) < d.MaxPhases {
+		d.sigs = append(d.sigs, n)
+		d.lastUse = append(d.lastUse, d.clock)
+		return len(d.sigs) - 1
+	}
+	// Evict the least recently seen phase and reuse its ID.
+	victim := 0
+	for id, t := range d.lastUse {
+		if t < d.lastUse[victim] {
+			victim = id
+		}
+	}
+	d.sigs[victim] = n
+	d.lastUse[victim] = d.clock
+	return victim
+}
+
+// DefaultPredictorEntries is the RLE Markov predictor size (2048 in the
+// paper).
+const DefaultPredictorEntries = 2048
+
+type markovEntry struct {
+	tag   uint32
+	next  int32
+	valid bool
+}
+
+// Predictor is a run-length encoded Markov phase predictor: it learns,
+// for each (phase, run length) pair, which phase followed, and predicts
+// the next epoch's phase from the current run.
+type Predictor struct {
+	entries []markovEntry
+
+	lastPhase int
+	runLen    int
+	primed    bool
+}
+
+// NewPredictor returns a Predictor with the paper's table size.
+func NewPredictor() *Predictor {
+	return &Predictor{entries: make([]markovEntry, DefaultPredictorEntries)}
+}
+
+// hash mixes a (phase, runLength) pair into a table index and tag.
+func (p *Predictor) hash(phase, run int) (int, uint32) {
+	x := uint64(phase)*0x9e3779b97f4a7c15 + uint64(run)*0xc4ceb9fe1a85ec53
+	x ^= x >> 29
+	return int(x % uint64(len(p.entries))), uint32(x >> 32)
+}
+
+// Observe feeds the phase ID of the epoch that just completed.
+func (p *Predictor) Observe(phase int) {
+	if !p.primed {
+		p.lastPhase, p.runLen, p.primed = phase, 1, true
+		return
+	}
+	if phase == p.lastPhase {
+		p.runLen++
+		return
+	}
+	// The run (lastPhase, runLen) ended with a transition to phase.
+	idx, tag := p.hash(p.lastPhase, p.runLen)
+	p.entries[idx] = markovEntry{tag: tag, next: int32(phase), valid: true}
+	p.lastPhase, p.runLen = phase, 1
+}
+
+// Predict returns the predicted phase of the next epoch. Without a
+// matching run-length pattern it predicts the run continues (last-value
+// prediction, the natural fallback).
+func (p *Predictor) Predict() int {
+	if !p.primed {
+		return 0
+	}
+	idx, tag := p.hash(p.lastPhase, p.runLen)
+	if e := p.entries[idx]; e.valid && e.tag == tag {
+		return int(e.next)
+	}
+	return p.lastPhase
+}

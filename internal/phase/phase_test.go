@@ -1,0 +1,149 @@
+package phase
+
+import (
+	"testing"
+
+	"smthill/internal/rng"
+)
+
+// sig builds a 64-entry signature concentrated on blocks [lo, hi).
+func sig(lo, hi int, weight uint32) []uint32 {
+	s := make([]uint32, 64)
+	for i := lo; i < hi; i++ {
+		s[i] = weight
+	}
+	return s
+}
+
+func TestSameSignatureSamePhase(t *testing.T) {
+	d := NewDetector()
+	a := d.Classify(sig(0, 16, 10))
+	b := d.Classify(sig(0, 16, 10))
+	if a != b {
+		t.Fatalf("identical signatures classified as %d and %d", a, b)
+	}
+}
+
+func TestDistinctSignaturesDistinctPhases(t *testing.T) {
+	d := NewDetector()
+	a := d.Classify(sig(0, 16, 10))
+	b := d.Classify(sig(32, 48, 10))
+	if a == b {
+		t.Fatal("disjoint signatures classified as the same phase")
+	}
+	if d.Phases() != 2 {
+		t.Fatalf("Phases() = %d", d.Phases())
+	}
+}
+
+func TestNoisyVariantMatches(t *testing.T) {
+	d := NewDetector()
+	a := d.Classify(sig(0, 16, 100))
+	noisy := sig(0, 16, 100)
+	noisy[20] = 10 // small out-of-profile component
+	if b := d.Classify(noisy); a != b {
+		t.Fatalf("small perturbation created new phase %d (was %d)", b, a)
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	// Signatures are normalised: the same distribution at different
+	// magnitudes is the same phase.
+	d := NewDetector()
+	a := d.Classify(sig(0, 16, 5))
+	b := d.Classify(sig(0, 16, 5000))
+	if a != b {
+		t.Fatal("classification is not scale invariant")
+	}
+}
+
+func TestEvictionAtCapacity(t *testing.T) {
+	d := NewDetector()
+	d.MaxPhases = 4
+	for i := 0; i < 6; i++ {
+		id := d.Classify(sig(i*10, i*10+8, 10))
+		if id >= 4 {
+			t.Fatalf("phase ID %d exceeds capacity 4", id)
+		}
+	}
+	if d.Phases() != 4 {
+		t.Fatalf("Phases() = %d, want capacity 4", d.Phases())
+	}
+}
+
+func TestZeroSignature(t *testing.T) {
+	d := NewDetector()
+	a := d.Classify(make([]uint32, 64))
+	b := d.Classify(make([]uint32, 64))
+	if a != b {
+		t.Fatal("zero signatures classified inconsistently")
+	}
+}
+
+func TestPredictorLearnsAlternation(t *testing.T) {
+	p := NewPredictor()
+	// Alternating phases with run length 3: 000111000111...
+	seq := []int{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}
+	for _, ph := range seq {
+		p.Observe(ph)
+	}
+	// We are at the end of a run of three 1s: the learned transition is
+	// to phase 0.
+	if got := p.Predict(); got != 0 {
+		t.Fatalf("Predict() = %d after learned 3-run of 1s, want 0", got)
+	}
+}
+
+func TestPredictorLastValueFallback(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < 10; i++ {
+		p.Observe(7)
+	}
+	if got := p.Predict(); got != 7 {
+		t.Fatalf("steady phase predicted as %d", got)
+	}
+}
+
+func TestPredictorUnprimed(t *testing.T) {
+	p := NewPredictor()
+	if got := p.Predict(); got != 0 {
+		t.Fatalf("unprimed Predict() = %d", got)
+	}
+}
+
+func TestPredictorAccuracyOnPeriodicSchedule(t *testing.T) {
+	p := NewPredictor()
+	r := rng.New(1)
+	correct, total := 0, 0
+	phaseOf := func(e int) int { return (e / 5) % 3 } // 5-epoch runs over 3 phases
+	for e := 0; e < 600; e++ {
+		ph := phaseOf(e)
+		if e > 100 { // after warmup
+			if p.Predict() == phaseOf(e) {
+				correct++
+			}
+			total++
+		}
+		p.Observe(ph)
+		_ = r
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("periodic schedule predicted with accuracy %.2f", acc)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	if d := manhattan([]float64{1, 0}, []float64{0, 1}); d != 2 {
+		t.Fatalf("manhattan = %f", d)
+	}
+	if d := manhattan([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Fatalf("manhattan = %f", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := normalize([]uint32{1, 3})
+	if n[0] != 0.25 || n[1] != 0.75 {
+		t.Fatalf("normalize = %v", n)
+	}
+}

@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"smthill/internal/bpred"
+	"smthill/internal/cache"
+	"smthill/internal/resource"
+)
+
+// FUConfig counts the functional units available each cycle (Table 1).
+type FUConfig struct {
+	IntAlu   int // integer adders/logic (branches execute here too)
+	IntMul   int // integer multiply/divide units
+	MemPorts int // load/store ports
+	FpAlu    int // floating-point adders
+	FpMul    int // floating-point multiply/divide units
+}
+
+// DefaultFUs returns the Table 1 functional-unit mix: 6 integer ALUs,
+// 3 integer mul/div, 4 memory ports, 3 FP adders, 3 FP mul/div.
+func DefaultFUs() FUConfig {
+	return FUConfig{IntAlu: 6, IntMul: 3, MemPorts: 4, FpAlu: 3, FpMul: 3}
+}
+
+// Config describes the simulated SMT processor. DefaultConfig reproduces
+// the paper's Table 1 machine.
+type Config struct {
+	// Threads is the number of hardware contexts.
+	Threads int
+	// FetchWidth, IssueWidth, CommitWidth are the per-cycle bandwidths
+	// (8/8/8 in Table 1).
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	// FetchThreads is the number of threads fetch may draw from each
+	// cycle (the "2" of an ICOUNT2.8-style front end).
+	FetchThreads int
+	// IFQSize is the per-thread instruction fetch queue depth. Table 1's
+	// 32-entry IFQ is divided evenly across contexts.
+	IFQSize int
+	// MispredictPenalty is the front-end redirect latency charged when a
+	// mispredicted branch resolves. Because the simulator is
+	// trace-driven it does not execute wrong-path instructions; the
+	// penalty subsumes the refill of the front end.
+	MispredictPenalty int
+	// Resources sizes the shared structures (Table 1).
+	Resources resource.Sizes
+	// FUs counts the functional units.
+	FUs FUConfig
+	// Bpred configures the branch predictor.
+	Bpred bpred.Config
+	// Mem configures the cache hierarchy.
+	Mem cache.HierarchyConfig
+}
+
+// DefaultConfig returns the paper's Table 1 machine with the given number
+// of hardware contexts.
+func DefaultConfig(threads int) Config {
+	ifq := 32 / threads
+	if ifq < 8 {
+		ifq = 8
+	}
+	return Config{
+		Threads:           threads,
+		FetchWidth:        8,
+		IssueWidth:        8,
+		CommitWidth:       8,
+		FetchThreads:      2,
+		IFQSize:           ifq,
+		MispredictPenalty: 12,
+		Resources:         resource.DefaultSizes(),
+		FUs:               DefaultFUs(),
+		Bpred:             bpred.Default(threads),
+		Mem:               cache.DefaultHierarchy(),
+	}
+}

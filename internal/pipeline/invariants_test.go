@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"smthill/internal/isa"
+	"smthill/internal/resource"
+	"smthill/internal/rng"
+	"smthill/internal/trace"
+)
+
+// liveSlots returns the set of slab indices not on the free list.
+func (m *Machine) liveSlots() map[int32]bool {
+	free := map[int32]bool{}
+	for _, idx := range m.free {
+		free[idx] = true
+	}
+	live := map[int32]bool{}
+	for i := range m.slab {
+		if !free[int32(i)] {
+			live[int32(i)] = true
+		}
+	}
+	return live
+}
+
+// checkInvariants recomputes all occupancy counters from the slab and
+// cross-checks the machine's bookkeeping.
+func (m *Machine) checkInvariants() error {
+	live := m.liveSlots()
+
+	// Every ROB entry references a live slot with a matching generation,
+	// in increasing sequence order per thread.
+	robSet := map[int32]bool{}
+	for th := range m.threads {
+		var prevSeq uint64
+		for i, r := range m.threads[th].rob {
+			e := m.get(r)
+			if e == nil {
+				return fmt.Errorf("thread %d ROB[%d] is stale", th, i)
+			}
+			if !live[r.idx] {
+				return fmt.Errorf("thread %d ROB[%d] references a freed slot", th, i)
+			}
+			if int(e.thread) != th {
+				return fmt.Errorf("thread %d ROB entry belongs to thread %d", th, e.thread)
+			}
+			if i > 0 && e.inst.Seq <= prevSeq {
+				return fmt.Errorf("thread %d ROB out of order at %d", th, i)
+			}
+			prevSeq = e.inst.Seq
+			robSet[r.idx] = true
+		}
+	}
+	// Every live slot is in some ROB (no orphans).
+	if len(robSet) != len(live) {
+		return fmt.Errorf("%d live slots but %d ROB entries", len(live), len(robSet))
+	}
+
+	// Recompute occupancy per thread and kind.
+	var occ [maxContexts][resource.NumKinds]int
+	for idx := range live {
+		e := &m.slab[idx]
+		th := int(e.thread)
+		occ[th][resource.ROB]++
+		if e.holdsIQ == resource.IntIQ || e.holdsIQ == resource.FpIQ {
+			occ[th][e.holdsIQ]++
+		}
+		if e.holdsLSQ {
+			occ[th][resource.LSQ]++
+		}
+		if e.holdsIntR {
+			occ[th][resource.IntRename]++
+		}
+		if e.holdsFpR {
+			occ[th][resource.FpRename]++
+		}
+	}
+	for th := range m.threads {
+		for k := resource.Kind(0); k < resource.NumKinds; k++ {
+			if got := m.res.Occ(th, k); got != occ[th][k] {
+				return fmt.Errorf("thread %d %v occupancy %d, slab says %d", th, k, got, occ[th][k])
+			}
+		}
+	}
+
+	// Outstanding-miss counters match the slab.
+	for th := range m.threads {
+		l2, dm := 0, 0
+		for idx := range live {
+			e := &m.slab[idx]
+			if int(e.thread) != th || e.done {
+				continue
+			}
+			if e.l2miss {
+				l2++
+			}
+			if e.dmiss {
+				dm++
+			}
+		}
+		if m.threads[th].outstandingL2 != l2 {
+			return fmt.Errorf("thread %d outstandingL2 %d, slab says %d", th, m.threads[th].outstandingL2, l2)
+		}
+		if m.threads[th].outstandingDMiss != dm {
+			return fmt.Errorf("thread %d outstandingDMiss %d, slab says %d", th, m.threads[th].outstandingDMiss, dm)
+		}
+	}
+	return nil
+}
+
+// TestInvariantsUnderRandomizedStress runs random machines with random
+// partition changes and random policy flushes, checking the full
+// bookkeeping every few cycles.
+func TestInvariantsUnderRandomizedStress(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 6; trial++ {
+		threads := 1 + r.Intn(4)
+		profs := make([]trace.Profile, threads)
+		streams := make([]isa.Stream, threads)
+		for i := range profs {
+			if r.Bool(0.5) {
+				profs[i] = memProfile(r.Uint64())
+			} else {
+				profs[i] = ilpProfile(r.Uint64())
+			}
+			streams[i] = trace.New(profs[i])
+		}
+		m := New(DefaultConfig(threads), streams, nil)
+		total := m.Resources().Sizes()[resource.IntRename]
+		for c := 0; c < 6_000; c++ {
+			m.Cycle()
+			if c%97 == 0 {
+				// Random partition move.
+				shares := resource.EqualShares(threads, total)
+				for k := 0; k < 5; k++ {
+					shares = shares.Shift(r.Intn(threads), 4+r.Intn(8))
+				}
+				m.Resources().SetShares(shares)
+			}
+			if c%211 == 0 {
+				// Random flush of a random thread.
+				th := r.Intn(threads)
+				if rob := m.threads[th].rob; len(rob) > 1 {
+					cut := rob[r.Intn(len(rob))]
+					if e := m.get(cut); e != nil {
+						m.FlushAfter(th, e.inst.Seq)
+					}
+				}
+			}
+			if c%53 == 0 {
+				if err := m.checkInvariants(); err != nil {
+					t.Fatalf("trial %d cycle %d: %v", trial, c, err)
+				}
+			}
+		}
+		// Final deep check plus clone equivalence.
+		if err := m.checkInvariants(); err != nil {
+			t.Fatalf("trial %d final: %v", trial, err)
+		}
+		c := m.Clone()
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("trial %d clone: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package pipeline implements the cycle-level out-of-order SMT processor
+// model that the paper's resource distribution techniques run on.
+//
+// The model is trace-driven: each hardware context is bound to an
+// isa.Stream supplying its committed-path instructions. Every cycle the
+// machine commits, writes back, issues, dispatches, and fetches, subject
+// to the Table 1 bandwidths, functional units, and shared-structure
+// capacities tracked by internal/resource. Fetch bandwidth is distributed
+// with the ICOUNT policy; explicit resource partitions (set through
+// Resources().SetShares) fetch-lock a thread that has reached its limit in
+// any partitioned structure, exactly as described in Section 3.2 of the
+// paper.
+//
+// The entire machine state is deep-copyable via Clone, which is the
+// checkpoint primitive used by the paper's OFF-LINE exhaustive learning
+// and RAND-HILL algorithms: a clone replays the identical future
+// execution. To keep cloning structural, in-flight instructions live in a
+// flat slab and refer to each other through index+generation references.
+package pipeline
+
+import (
+	"fmt"
+
+	"smthill/internal/bpred"
+	"smthill/internal/cache"
+	"smthill/internal/isa"
+	"smthill/internal/resource"
+)
+
+// ref identifies an in-flight instruction slot; gen detects slot reuse, so
+// a stale ref (its producer has committed or been squashed) simply reads
+// as "ready".
+type ref struct {
+	idx int32
+	gen uint32
+}
+
+// noRef is the canonical "no producer / ready" reference (gen 0 is never a
+// live generation).
+var noRef = ref{-1, 0}
+
+// inflight is one instruction between dispatch and commit.
+type inflight struct {
+	gen    uint32
+	inst   isa.Inst
+	thread int8
+
+	issued bool
+	done   bool
+
+	// src1, src2 point at the producing in-flight instructions (noRef or
+	// stale = operand ready).
+	src1, src2 ref
+	// prevDest is the rename-table entry displaced by this instruction's
+	// destination, restored on squash.
+	prevDest ref
+
+	// dmiss marks a load that missed in the DL1; l2miss marks a load
+	// that also missed in the L2 (memory-bound).
+	dmiss  bool
+	l2miss bool
+	// mispredicted marks a branch whose fetch-time prediction was wrong.
+	mispredicted bool
+
+	// Occupancy held, freed at commit or squash.
+	holdsIQ   resource.Kind // IntIQ or FpIQ; freed at issue
+	holdsLSQ  bool
+	holdsIntR bool
+	holdsFpR  bool
+}
+
+// thread is the per-context front-end and ROB state.
+type threadState struct {
+	stream isa.Stream
+
+	// pending buffers instructions pulled from the stream but not yet
+	// committed, enabling replay after a policy flush. Indices into it:
+	// pendingHead marks the oldest uncommitted instruction, dispatchCur
+	// the next to dispatch, fetchCur the next to fetch; instructions in
+	// [dispatchCur, fetchCur) occupy the thread's fetch queue.
+	pending     []isa.Inst
+	pendingHead int
+	dispatchCur int
+	fetchCur    int
+
+	// mispredictSeq is the sequence number of the fetched-but-unresolved
+	// mispredicted branch when mispredictPending is set.
+	mispredictSeq uint64
+
+	// rob holds refs in dispatch order awaiting commit.
+	rob []ref
+
+	// Rename map: architectural register -> producing in-flight
+	// instruction. Index 0..31 integer, 32..63 floating point.
+	rename [2 * isa.RegsPerFile]ref
+
+	// fetchStall is the cycle until which fetch is stalled (mispredict
+	// redirect or instruction-cache miss).
+	fetchStall uint64
+	// mispredictPending stops fetch after a mispredicted branch until it
+	// resolves.
+	mispredictPending bool
+	// lastFetchBlock is the instruction-cache block of the last fetched
+	// instruction, for charging I-cache misses on block transitions.
+	lastFetchBlock uint64
+	// exhausted marks a finite stream that has ended.
+	exhausted bool
+
+	// addrBase offsets this thread's data addresses into a disjoint
+	// region of the shared cache hierarchy's address space.
+	addrBase uint64
+
+	// outstandingL2 counts this thread's in-flight L2-missing loads;
+	// outstandingDMiss counts in-flight loads that missed the DL1
+	// (DCRA's fast/slow classification signal).
+	outstandingL2    int
+	outstandingDMiss int
+
+	// bbv accumulates the thread's Basic Block Vector: committed
+	// instructions per (hashed) basic block. Phase detection (Section 5)
+	// snapshots and resets it each epoch.
+	bbv [BBVEntries]uint32
+
+	// committed counts instructions committed by this thread (monotonic).
+	committed uint64
+	// flushed counts instructions squashed by policy-initiated flushes.
+	flushed uint64
+}
+
+// Stats aggregates machine-level counters (monotonic).
+type Stats struct {
+	Cycles      uint64
+	Fetched     uint64
+	Dispatched  uint64
+	Issued      uint64
+	Committed   uint64
+	Flushes     uint64
+	Squashed    uint64
+	Mispredicts uint64
+}
+
+// Machine is the simulated SMT processor.
+type Machine struct {
+	cfg Config
+
+	now     uint64
+	threads []threadState
+	res     *resource.Table
+	mem     *cache.Hierarchy
+	bp      *bpred.Predictor
+
+	// fetchDisabled masks contexts whose fetch is administratively off
+	// (SingleIPC sampling disables all other threads for an epoch).
+	fetchDisabled []bool
+
+	// slab of in-flight instructions plus its free list.
+	slab []inflight
+	free []int32
+
+	// waiting holds dispatched-but-not-issued instructions in dispatch
+	// (age) order; the issue stage scans it oldest-first.
+	waiting []ref
+
+	// done[c % len(done)] lists instructions completing at cycle c.
+	doneRing [][]ref
+
+	policy Policy
+
+	stats Stats
+
+	// stallUntil globally stalls the whole machine (used to charge the
+	// software cost of the hill-climbing algorithm, Section 4.2).
+	stallUntil uint64
+}
+
+// Policy is a per-cycle resource distribution mechanism (FLUSH, STALL,
+// DCRA, ...). The epoch-level learning algorithms in internal/core are
+// layered above policies and are not Policies themselves.
+//
+// Implementations must be deep-copyable so the machine can be
+// checkpointed.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Cycle runs once per simulated cycle, after all pipeline stages.
+	Cycle(m *Machine)
+	// FetchLocked reports whether the policy forbids fetch for thread th
+	// this cycle (in addition to the machine's structural conditions).
+	FetchLocked(m *Machine, th int) bool
+	// OnL2Miss fires when thread th's load with sequence number seq is
+	// found to miss in the L2 (at issue time).
+	OnL2Miss(m *Machine, th int, seq uint64)
+	// OnL2MissDone fires when that load completes.
+	OnL2MissDone(m *Machine, th int, seq uint64)
+	// Clone returns an independent deep copy.
+	Clone() Policy
+}
+
+// NilPolicy is the no-op policy: plain ICOUNT fetch with fully shared
+// resources.
+type NilPolicy struct{}
+
+// Name implements Policy.
+func (NilPolicy) Name() string { return "ICOUNT" }
+
+// Cycle implements Policy.
+func (NilPolicy) Cycle(*Machine) {}
+
+// FetchLocked implements Policy.
+func (NilPolicy) FetchLocked(*Machine, int) bool { return false }
+
+// OnL2Miss implements Policy.
+func (NilPolicy) OnL2Miss(*Machine, int, uint64) {}
+
+// OnL2MissDone implements Policy.
+func (NilPolicy) OnL2MissDone(*Machine, int, uint64) {}
+
+// Clone implements Policy.
+func (NilPolicy) Clone() Policy { return NilPolicy{} }
+
+// New builds a machine running one stream per hardware context under the
+// given policy (nil means NilPolicy/plain ICOUNT).
+func New(cfg Config, streams []isa.Stream, pol Policy) *Machine {
+	if len(streams) != cfg.Threads {
+		panic(fmt.Sprintf("pipeline: %d streams for %d contexts", len(streams), cfg.Threads))
+	}
+	if cfg.Threads < 1 || cfg.Threads > maxContexts {
+		panic(fmt.Sprintf("pipeline: %d contexts outside [1, %d]", cfg.Threads, maxContexts))
+	}
+	if pol == nil {
+		pol = NilPolicy{}
+	}
+	slabSize := cfg.Resources[resource.ROB] + cfg.Threads*cfg.IFQSize + 16
+	m := &Machine{
+		cfg:           cfg,
+		res:           resource.NewTable(cfg.Threads, cfg.Resources),
+		mem:           cache.NewHierarchy(cfg.Mem, cfg.Threads),
+		bp:            bpred.New(cfg.Bpred),
+		slab:          make([]inflight, slabSize),
+		free:          make([]int32, 0, slabSize),
+		doneRing:      make([][]ref, 512),
+		policy:        pol,
+		threads:       make([]threadState, cfg.Threads),
+		fetchDisabled: make([]bool, cfg.Threads),
+	}
+	for i := slabSize - 1; i >= 0; i-- {
+		m.slab[i].gen = 1
+		m.free = append(m.free, int32(i))
+	}
+	for t := range m.threads {
+		th := &m.threads[t]
+		th.stream = streams[t]
+		// Disjoint per-thread address regions. The sub-region stagger is
+		// an odd number of cache lines so different threads' hot blocks
+		// spread across cache sets — a pure power-of-two offset would
+		// alias every thread onto the same sets and thrash the shared
+		// 2-way caches once more than two contexts run.
+		th.addrBase = uint64(t)<<44 + uint64(t)*37*64
+		for i := range th.rename {
+			th.rename[i] = noRef
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the machine: an execution checkpoint.
+// Advancing the clone and the original produces identical, independent
+// executions.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.res = m.res.Clone()
+	c.mem = m.mem.Clone()
+	c.bp = m.bp.Clone()
+	c.slab = append([]inflight(nil), m.slab...)
+	c.free = append([]int32(nil), m.free...)
+	c.waiting = append([]ref(nil), m.waiting...)
+	c.doneRing = make([][]ref, len(m.doneRing))
+	for i, evs := range m.doneRing {
+		if len(evs) > 0 {
+			c.doneRing[i] = append([]ref(nil), evs...)
+		}
+	}
+	c.policy = m.policy.Clone()
+	c.fetchDisabled = append([]bool(nil), m.fetchDisabled...)
+	c.threads = make([]threadState, len(m.threads))
+	for i := range m.threads {
+		t := m.threads[i]
+		t.pending = append([]isa.Inst(nil), t.pending...)
+		t.rob = append([]ref(nil), t.rob...)
+		t.stream = t.stream.CloneStream()
+		c.threads[i] = t
+	}
+	return &c
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Threads returns the number of hardware contexts.
+func (m *Machine) Threads() int { return len(m.threads) }
+
+// Resources exposes the occupancy/partition table. Learning algorithms
+// program partitions through Resources().SetShares.
+func (m *Machine) Resources() *resource.Table { return m.res }
+
+// Mem exposes the cache hierarchy (for policy classification and stats).
+func (m *Machine) Mem() *cache.Hierarchy { return m.mem }
+
+// Bpred exposes the branch predictor.
+func (m *Machine) Bpred() *bpred.Predictor { return m.bp }
+
+// Stats returns the machine-level counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Committed returns the instructions committed so far by thread th.
+func (m *Machine) Committed(th int) uint64 { return m.threads[th].committed }
+
+// Flushed returns the instructions squashed so far by flushes of thread th.
+func (m *Machine) Flushed(th int) uint64 { return m.threads[th].flushed }
+
+// OutstandingL2 returns thread th's in-flight L2-missing load count.
+func (m *Machine) OutstandingL2(th int) int { return m.threads[th].outstandingL2 }
+
+// OutstandingDMiss returns thread th's in-flight DL1-missing load count —
+// the signal DCRA uses to classify threads as memory-bound ("slow").
+func (m *Machine) OutstandingDMiss(th int) int { return m.threads[th].outstandingDMiss }
+
+// BBVEntries is the Basic Block Vector length per context (Section 5
+// uses 64 entries per SMT context).
+const BBVEntries = 64
+
+// BBV returns a copy of thread th's accumulated Basic Block Vector.
+func (m *Machine) BBV(th int) [BBVEntries]uint32 { return m.threads[th].bbv }
+
+// ResetBBV zeroes thread th's Basic Block Vector (called at epoch
+// boundaries by phase detection).
+func (m *Machine) ResetBBV(th int) { m.threads[th].bbv = [BBVEntries]uint32{} }
+
+// MispredictRate returns the branch predictor's lifetime mispredict rate.
+func (m *Machine) MispredictRate() float64 { return m.bp.MispredictRate() }
+
+// ICount returns thread th's ICOUNT metric: instructions in the front end
+// (fetched, not yet dispatched) plus issue-queue occupancy.
+func (m *Machine) ICount(th int) int {
+	t := &m.threads[th]
+	frontEnd := t.fetchCur - t.dispatchCur
+	return frontEnd + m.res.Occ(th, resource.IntIQ) + m.res.Occ(th, resource.FpIQ) + m.res.Occ(th, resource.LSQ)
+}
+
+// Policy returns the attached per-cycle policy.
+func (m *Machine) Policy() Policy { return m.policy }
+
+// SetPolicy replaces the per-cycle policy (nil restores plain ICOUNT).
+// The experiment harness uses it to run different techniques forward from
+// the same checkpoint ("synchronized" comparisons, Section 3.3).
+func (m *Machine) SetPolicy(p Policy) {
+	if p == nil {
+		p = NilPolicy{}
+	}
+	m.policy = p
+}
+
+// Stall suspends all pipeline activity for n cycles starting now. The
+// paper charges the software implementation of the hill-climbing
+// algorithm 200 stall cycles per epoch (Section 4.2).
+func (m *Machine) Stall(n int) {
+	until := m.now + uint64(n)
+	if until > m.stallUntil {
+		m.stallUntil = until
+	}
+}
+
+// SetFetchEnabled disables or re-enables fetch for a context. The
+// learning algorithms use this to sample a thread's stand-alone IPC
+// (SingleIPC) by disabling the other threads for one epoch (Section 4.2).
+// Instructions already in flight for a disabled thread drain normally.
+func (m *Machine) SetFetchEnabled(th int, enabled bool) {
+	m.fetchDisabled[th] = !enabled
+}
+
+// FetchEnabled reports whether fetch is administratively enabled for th.
+func (m *Machine) FetchEnabled(th int) bool { return !m.fetchDisabled[th] }
+
+// get returns the slab entry for r, or nil if the ref is stale.
+func (m *Machine) get(r ref) *inflight {
+	if r.idx < 0 {
+		return nil
+	}
+	e := &m.slab[r.idx]
+	if e.gen != r.gen {
+		return nil
+	}
+	return e
+}
+
+// alloc takes a slot from the slab. The slab is sized so that allocation
+// can only fail if bookkeeping leaked slots, which is a bug.
+func (m *Machine) alloc() (ref, *inflight) {
+	n := len(m.free)
+	if n == 0 {
+		panic("pipeline: in-flight slab exhausted (slot leak)")
+	}
+	idx := m.free[n-1]
+	m.free = m.free[:n-1]
+	e := &m.slab[idx]
+	return ref{idx: idx, gen: e.gen}, e
+}
+
+// release returns a slot to the slab, bumping its generation so stale
+// refs read as ready.
+func (m *Machine) release(r ref) {
+	e := &m.slab[r.idx]
+	e.gen++
+	m.free = append(m.free, r.idx)
+}
+
+// ready reports whether the operand guarded by r is available.
+func (m *Machine) ready(r ref) bool {
+	e := m.get(r)
+	return e == nil || e.done
+}

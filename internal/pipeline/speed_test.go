@@ -1,0 +1,24 @@
+package pipeline
+
+import (
+	"smthill/internal/isa"
+	"smthill/internal/trace"
+	"testing"
+)
+
+func BenchmarkCycleSpeed(b *testing.B) {
+	streams := []isa.Stream{trace.New(ilpProfile(1)), trace.New(memProfile(2))}
+	m := New(DefaultConfig(2), streams, nil)
+	b.ResetTimer()
+	m.CycleN(b.N)
+}
+
+func TestReportIPCs(t *testing.T) {
+	for _, p := range []trace.Profile{ilpProfile(1), memProfile(2)} {
+		m := New(DefaultConfig(1), []isa.Stream{trace.New(p)}, nil)
+		m.CycleN(200_000)
+		t.Logf("%s solo IPC = %.3f mispredict=%.3f dl1miss=%.3f l2miss=%.3f",
+			p.Name, float64(m.Committed(0))/200_000, m.MispredictRate(),
+			m.Mem().DL1.Stats.MissRate(), m.Mem().UL2.Stats.MissRate())
+	}
+}

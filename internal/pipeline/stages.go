@@ -1,0 +1,575 @@
+package pipeline
+
+import (
+	"smthill/internal/isa"
+	"smthill/internal/resource"
+)
+
+// Cycle advances the machine by one cycle: commit, writeback, issue,
+// dispatch, fetch, then the attached policy's per-cycle hook.
+func (m *Machine) Cycle() {
+	stalled := m.now < m.stallUntil
+	m.commit(stalled)
+	m.writeback()
+	if !stalled {
+		m.issue()
+		m.dispatch()
+		m.fetch()
+		m.policy.Cycle(m)
+	}
+	m.now++
+	m.stats.Cycles++
+}
+
+// CycleN advances the machine by n cycles.
+func (m *Machine) CycleN(n int) {
+	for i := 0; i < n; i++ {
+		m.Cycle()
+	}
+}
+
+// Done reports whether every stream is exhausted and the pipeline has
+// drained. Machines running unbounded synthetic streams never finish.
+func (m *Machine) Done() bool {
+	for i := range m.threads {
+		t := &m.threads[i]
+		if !t.exhausted || len(t.rob) > 0 || t.fetchCur < len(t.pending) || t.dispatchCur < t.fetchCur {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- commit
+
+func (m *Machine) commit(stalled bool) {
+	if stalled {
+		return
+	}
+	budget := m.cfg.CommitWidth
+	n := len(m.threads)
+	start := int(m.now) % n
+	// Round-robin across threads, draining each thread's ready head run.
+	progress := true
+	for budget > 0 && progress {
+		progress = false
+		for i := 0; i < n && budget > 0; i++ {
+			th := (start + i) % n
+			if m.commitOne(th) {
+				budget--
+				progress = true
+			}
+		}
+	}
+}
+
+// commitOne retires thread th's oldest instruction if it has completed.
+func (m *Machine) commitOne(th int) bool {
+	t := &m.threads[th]
+	if len(t.rob) == 0 {
+		return false
+	}
+	r := t.rob[0]
+	e := m.get(r)
+	if e == nil {
+		panic("pipeline: stale ref at ROB head")
+	}
+	if !e.done {
+		return false
+	}
+	in := &e.inst
+	if in.Class == isa.Store {
+		m.mem.Store(th, t.addrBase+in.Addr)
+	}
+	// Release held resources.
+	if e.holdsLSQ {
+		m.res.Free(th, resource.LSQ)
+	}
+	if e.holdsIntR {
+		m.res.Free(th, resource.IntRename)
+	}
+	if e.holdsFpR {
+		m.res.Free(th, resource.FpRename)
+	}
+	m.res.Free(th, resource.ROB)
+	t.rob = t.rob[1:]
+	m.release(r)
+
+	t.bbv[int(in.BB)%BBVEntries]++
+	t.committed++
+	m.stats.Committed++
+	t.pendingHead++
+	// Compact the pending buffer once the dead prefix grows.
+	if t.pendingHead >= 512 {
+		copied := copy(t.pending, t.pending[t.pendingHead:])
+		t.pending = t.pending[:copied]
+		t.dispatchCur -= t.pendingHead
+		t.fetchCur -= t.pendingHead
+		t.pendingHead = 0
+	}
+	return true
+}
+
+// ------------------------------------------------------------- writeback
+
+func (m *Machine) writeback() {
+	slot := int(m.now % uint64(len(m.doneRing)))
+	events := m.doneRing[slot]
+	if len(events) == 0 {
+		return
+	}
+	for _, r := range events {
+		e := m.get(r)
+		if e == nil || e.done || !e.issued {
+			continue // squashed and possibly reallocated; drop the event
+		}
+		e.done = true
+		th := int(e.thread)
+		t := &m.threads[th]
+		switch e.inst.Class {
+		case isa.Branch:
+			pc := t.addrBase + e.inst.PC
+			m.bp.Update(th, pc, e.inst.Taken)
+			if e.inst.Taken {
+				m.bp.BTBUpdate(pc, t.addrBase+e.inst.Target)
+			}
+			if e.mispredicted {
+				m.stats.Mispredicts++
+				t.fetchStall = m.now + uint64(m.cfg.MispredictPenalty)
+				if t.mispredictPending && t.mispredictSeq == e.inst.Seq {
+					t.mispredictPending = false
+				}
+			}
+		case isa.Load:
+			if e.dmiss {
+				t.outstandingDMiss--
+			}
+			if e.l2miss {
+				t.outstandingL2--
+				m.policy.OnL2MissDone(m, th, e.inst.Seq)
+			}
+		}
+	}
+	m.doneRing[slot] = events[:0]
+}
+
+// schedule enqueues completion of r after lat cycles (lat >= 1).
+func (m *Machine) schedule(r ref, lat int) {
+	if lat < 1 {
+		lat = 1
+	}
+	if lat >= len(m.doneRing) {
+		lat = len(m.doneRing) - 1 // ring bounds the maximum modelled latency
+	}
+	slot := int((m.now + uint64(lat)) % uint64(len(m.doneRing)))
+	m.doneRing[slot] = append(m.doneRing[slot], r)
+}
+
+// ----------------------------------------------------------------- issue
+
+func (m *Machine) issue() {
+	budget := m.cfg.IssueWidth
+	fu := m.cfg.FUs // per-cycle copy; decremented as units are claimed
+	out := m.waiting[:0]
+	for i, r := range m.waiting {
+		e := m.get(r)
+		if e == nil {
+			continue // squashed; drop from the window
+		}
+		if budget == 0 {
+			out = append(out, m.waiting[i:]...)
+			break
+		}
+		if !e.issued && m.tryIssue(r, e, &fu) {
+			budget--
+			continue
+		}
+		out = append(out, r)
+	}
+	m.waiting = out
+}
+
+// tryIssue issues one instruction if its operands are ready and a
+// functional unit is free. It returns true when the instruction left the
+// window. Once an operand is observed ready its ref is cleared, so
+// subsequent scans of a still-waiting instruction skip the slab lookup.
+func (m *Machine) tryIssue(r ref, e *inflight, fu *FUConfig) bool {
+	if e.src1.idx >= 0 {
+		if !m.ready(e.src1) {
+			return false
+		}
+		e.src1 = noRef
+	}
+	if e.src2.idx >= 0 {
+		if !m.ready(e.src2) {
+			return false
+		}
+		e.src2 = noRef
+	}
+	th := int(e.thread)
+	t := &m.threads[th]
+	in := &e.inst
+	lat := in.Class.ExecLatency()
+	switch in.Class {
+	case isa.IntAlu, isa.Branch:
+		if fu.IntAlu == 0 {
+			return false
+		}
+		fu.IntAlu--
+	case isa.IntMul, isa.IntDiv:
+		if fu.IntMul == 0 {
+			return false
+		}
+		fu.IntMul--
+	case isa.FpAlu:
+		if fu.FpAlu == 0 {
+			return false
+		}
+		fu.FpAlu--
+	case isa.FpMul, isa.FpDiv:
+		if fu.FpMul == 0 {
+			return false
+		}
+		fu.FpMul--
+	case isa.Load:
+		if fu.MemPorts == 0 {
+			return false
+		}
+		fu.MemPorts--
+		memLat, l2miss := m.mem.Load(th, t.addrBase+in.Addr)
+		lat += memLat
+		if memLat > m.cfg.Mem.DL1.Latency {
+			e.dmiss = true
+			t.outstandingDMiss++
+		}
+		if l2miss {
+			e.l2miss = true
+			t.outstandingL2++
+			m.policy.OnL2Miss(m, th, in.Seq)
+		}
+	case isa.Store:
+		if fu.MemPorts == 0 {
+			return false
+		}
+		fu.MemPorts--
+	}
+	e.issued = true
+	if e.holdsIQ == resource.IntIQ || e.holdsIQ == resource.FpIQ {
+		m.res.Free(th, e.holdsIQ)
+		e.holdsIQ = resource.NumKinds
+	}
+	m.schedule(r, lat)
+	m.stats.Issued++
+	return true
+}
+
+// -------------------------------------------------------------- dispatch
+
+// neededIQ returns the issue-queue structure an instruction occupies
+// between dispatch and issue, or NumKinds for memory operations (which
+// wait in the LSQ instead).
+func neededIQ(c isa.Class) resource.Kind {
+	switch c {
+	case isa.IntAlu, isa.IntMul, isa.IntDiv, isa.Branch:
+		return resource.IntIQ
+	case isa.FpAlu, isa.FpMul, isa.FpDiv:
+		return resource.FpIQ
+	default:
+		return resource.NumKinds
+	}
+}
+
+func (m *Machine) dispatch() {
+	budget := m.cfg.FetchWidth // dispatch width equals fetch width
+	n := len(m.threads)
+	start := int(m.now) % n
+	progress := true
+	for budget > 0 && progress {
+		progress = false
+		for i := 0; i < n && budget > 0; i++ {
+			th := (start + i) % n
+			if m.dispatchOne(th) {
+				budget--
+				progress = true
+			}
+		}
+	}
+}
+
+// dispatchOne moves thread th's next fetched instruction into the window
+// if every structure it needs can be allocated. Threads dispatch in
+// order, so a blocked head blocks only its own thread.
+func (m *Machine) dispatchOne(th int) bool {
+	t := &m.threads[th]
+	if t.dispatchCur >= t.fetchCur {
+		return false
+	}
+	in := &t.pending[t.dispatchCur]
+	iq := neededIQ(in.Class)
+
+	if !m.res.CanAlloc(th, resource.ROB) {
+		return false
+	}
+	if iq != resource.NumKinds && !m.res.CanAlloc(th, iq) {
+		return false
+	}
+	if in.Class.IsMem() && !m.res.CanAlloc(th, resource.LSQ) {
+		return false
+	}
+	needIntR := in.HasDest() && !in.DestIsFp()
+	needFpR := in.HasDest() && in.DestIsFp()
+	if needIntR && !m.res.CanAlloc(th, resource.IntRename) {
+		return false
+	}
+	if needFpR && !m.res.CanAlloc(th, resource.FpRename) {
+		return false
+	}
+
+	r, e := m.alloc()
+	*e = inflight{
+		gen:     e.gen,
+		inst:    *in,
+		thread:  int8(th),
+		src1:    noRef,
+		src2:    noRef,
+		holdsIQ: resource.NumKinds,
+	}
+
+	m.res.Alloc(th, resource.ROB)
+	if iq != resource.NumKinds {
+		m.res.Alloc(th, iq)
+		e.holdsIQ = iq
+	}
+	if in.Class.IsMem() {
+		m.res.Alloc(th, resource.LSQ)
+		e.holdsLSQ = true
+	}
+	if needIntR {
+		m.res.Alloc(th, resource.IntRename)
+		e.holdsIntR = true
+	}
+	if needFpR {
+		m.res.Alloc(th, resource.FpRename)
+		e.holdsFpR = true
+	}
+
+	// Resolve source operands against the rename map. FP arithmetic
+	// reads the FP file; loads and stores address (and, for stores,
+	// source their data) through the integer file.
+	srcFp := in.Class.IsFp()
+	if in.Src1 != isa.NoReg {
+		e.src1 = t.rename[renameIdx(in.Src1, srcFp)]
+	}
+	if in.Src2 != isa.NoReg {
+		e.src2 = t.rename[renameIdx(in.Src2, srcFp)]
+	}
+	// Claim the destination.
+	if in.HasDest() {
+		di := renameIdx(in.Dest, in.DestIsFp())
+		e.prevDest = t.rename[di]
+		t.rename[di] = r
+	}
+	if t.mispredictPending && in.Class == isa.Branch && in.Seq == t.mispredictSeq {
+		e.mispredicted = true
+	}
+
+	t.rob = append(t.rob, r)
+	m.waiting = append(m.waiting, r)
+	t.dispatchCur++
+	m.stats.Dispatched++
+	return true
+}
+
+// renameIdx maps an architectural register to its rename-table slot.
+func renameIdx(reg int8, fp bool) int {
+	if fp {
+		return int(reg) + isa.RegsPerFile
+	}
+	return int(reg)
+}
+
+// ----------------------------------------------------------------- fetch
+
+// canFetch reports whether thread th may fetch this cycle.
+func (m *Machine) canFetch(th int) bool {
+	t := &m.threads[th]
+	if m.fetchDisabled[th] || (t.exhausted && t.fetchCur >= len(t.pending)) {
+		return false
+	}
+	if t.mispredictPending || t.fetchStall > m.now {
+		return false
+	}
+	if t.fetchCur-t.dispatchCur >= m.cfg.IFQSize {
+		return false
+	}
+	if m.res.AtPartitionLimit(th) {
+		return false
+	}
+	return !m.policy.FetchLocked(m, th)
+}
+
+// maxContexts bounds the hardware contexts a single machine may have;
+// it exists only to keep fetch's thread-ranking scratch off the heap.
+const maxContexts = 16
+
+func (m *Machine) fetch() {
+	// Rank eligible threads by ICOUNT (fewest in-flight instructions
+	// first) and fetch from the best FetchThreads of them.
+	var order [maxContexts]int
+	var counts [maxContexts]int
+	n := 0
+	for th := range m.threads {
+		if !m.canFetch(th) {
+			continue
+		}
+		c := m.ICount(th)
+		i := n
+		for i > 0 && counts[i-1] > c {
+			order[i] = order[i-1]
+			counts[i] = counts[i-1]
+			i--
+		}
+		order[i] = th
+		counts[i] = c
+		n++
+	}
+	if n > m.cfg.FetchThreads {
+		n = m.cfg.FetchThreads
+	}
+	budget := m.cfg.FetchWidth
+	for i := 0; i < n && budget > 0; i++ {
+		budget = m.fetchThread(order[i], budget)
+	}
+}
+
+// fetchThread fetches up to budget instructions from thread th and
+// returns the remaining budget.
+func (m *Machine) fetchThread(th int, budget int) int {
+	t := &m.threads[th]
+	for budget > 0 {
+		if !m.canFetch(th) {
+			break
+		}
+		// Refill the pending buffer from the stream if needed.
+		if t.fetchCur >= len(t.pending) {
+			var in isa.Inst
+			if !t.stream.Next(&in) {
+				t.exhausted = true
+				break
+			}
+			t.pending = append(t.pending, in)
+		}
+		in := &t.pending[t.fetchCur]
+		pc := t.addrBase + in.PC
+
+		// Charge instruction-cache misses on block transitions.
+		block := pc >> 6
+		if block != t.lastFetchBlock {
+			if lat := m.mem.Fetch(th, pc); lat > m.cfg.Mem.IL1.Latency {
+				t.fetchStall = m.now + uint64(lat)
+				break
+			}
+			t.lastFetchBlock = block
+		}
+
+		t.fetchCur++
+		m.stats.Fetched++
+		budget--
+
+		if in.Class == isa.Branch {
+			predTaken := m.bp.Predict(th, pc)
+			_, btbHit := m.bp.BTBLookup(pc)
+			mispredict := predTaken != in.Taken || (in.Taken && !btbHit)
+			if mispredict {
+				t.mispredictPending = true
+				t.mispredictSeq = in.Seq
+				break // fetch cannot proceed past an unresolved mispredict
+			}
+			if in.Taken {
+				break // taken-branch fetch break within the cycle
+			}
+		}
+	}
+	return budget
+}
+
+// ----------------------------------------------------------------- flush
+
+// FlushAfter squashes every in-flight instruction of thread th younger
+// than sequence number seq and rewinds the thread's fetch point so the
+// squashed instructions are re-fetched later. This is the recovery action
+// of the FLUSH policy (Tullsen & Brown) and the paper's Section 2.
+func (m *Machine) FlushAfter(th int, seq uint64) {
+	t := &m.threads[th]
+	// Walk the ROB tail (youngest first), squashing while Seq > seq.
+	squashed := 0
+	for len(t.rob) > 0 {
+		r := t.rob[len(t.rob)-1]
+		e := m.get(r)
+		if e == nil {
+			panic("pipeline: stale ref in ROB tail")
+		}
+		if e.inst.Seq <= seq {
+			break
+		}
+		m.squash(th, r, e)
+		t.rob = t.rob[:len(t.rob)-1]
+		squashed++
+	}
+	if squashed > 0 {
+		m.stats.Squashed += uint64(squashed)
+		t.flushed += uint64(squashed)
+	}
+	m.stats.Flushes++
+
+	// Rewind the fetch/dispatch cursors to just past seq. pending is in
+	// sequence order, so locate the first instruction with Seq > seq.
+	lo := t.pendingHead
+	cur := t.fetchCur
+	for cur > lo && t.pending[cur-1].Seq > seq {
+		cur--
+	}
+	t.fetchCur = cur
+	if t.dispatchCur > cur {
+		t.dispatchCur = cur
+	}
+	// Any fetched-but-unresolved mispredict past the flush point is gone.
+	if t.mispredictPending && t.mispredictSeq > seq {
+		t.mispredictPending = false
+	}
+	t.lastFetchBlock = 0 // refetch the flushed block
+}
+
+// squash undoes one in-flight instruction: restores the rename map,
+// releases occupancy, and frees the slab slot (which invalidates any
+// window or completion-ring references).
+func (m *Machine) squash(th int, r ref, e *inflight) {
+	t := &m.threads[th]
+	in := &e.inst
+	if in.HasDest() {
+		di := renameIdx(in.Dest, in.DestIsFp())
+		if cur := t.rename[di]; cur == r {
+			t.rename[di] = e.prevDest
+		}
+	}
+	if e.holdsIQ == resource.IntIQ || e.holdsIQ == resource.FpIQ {
+		m.res.Free(th, e.holdsIQ)
+	}
+	if e.holdsLSQ {
+		m.res.Free(th, resource.LSQ)
+	}
+	if e.holdsIntR {
+		m.res.Free(th, resource.IntRename)
+	}
+	if e.holdsFpR {
+		m.res.Free(th, resource.FpRename)
+	}
+	m.res.Free(th, resource.ROB)
+	if e.dmiss && !e.done {
+		t.outstandingDMiss--
+	}
+	if e.l2miss && !e.done {
+		t.outstandingL2--
+	}
+	m.release(r)
+}

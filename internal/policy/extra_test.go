@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"testing"
+
+	"smthill/internal/isa"
+	"smthill/internal/pipeline"
+	"smthill/internal/trace"
+)
+
+func TestExtraPolicyNames(t *testing.T) {
+	for _, n := range []string{"STALL-FLUSH", "DG", "PDG"} {
+		if p := ByName(n); p.Name() != n {
+			t.Fatalf("ByName(%q).Name() = %q", n, p.Name())
+		}
+	}
+}
+
+func TestStallFlushFlushesOnlyNearExhaustion(t *testing.T) {
+	// On a mildly memory-bound pair, STALL-FLUSH should flush far less
+	// than FLUSH while still protecting the co-scheduled thread.
+	const cycles = 150_000
+	profs := []trace.Profile{memProfile(1), ilpProfile(2)}
+	run := func(pol pipeline.Policy) *pipeline.Machine {
+		streams := []isa.Stream{trace.New(profs[0]), trace.New(profs[1])}
+		m := pipeline.New(pipeline.DefaultConfig(2), streams, pol)
+		m.CycleN(cycles)
+		return m
+	}
+	flush := run(NewFlush())
+	hybrid := run(NewStallFlush())
+	if hybrid.Stats().Squashed >= flush.Stats().Squashed {
+		t.Fatalf("hybrid squashed %d >= FLUSH's %d", hybrid.Stats().Squashed, flush.Stats().Squashed)
+	}
+	icount := run(nil)
+	if hybrid.Committed(1) <= icount.Committed(1) {
+		t.Fatalf("hybrid did not protect the ILP thread: %d vs ICOUNT %d",
+			hybrid.Committed(1), icount.Committed(1))
+	}
+}
+
+func TestDGGatesOnOutstandingMisses(t *testing.T) {
+	profs := []trace.Profile{memProfile(1), ilpProfile(2)}
+	streams := []isa.Stream{trace.New(profs[0]), trace.New(profs[1])}
+	d := NewDG()
+	m := pipeline.New(pipeline.DefaultConfig(2), streams, d)
+	gated := 0
+	for i := 0; i < 100_000; i++ {
+		m.Cycle()
+		if d.FetchLocked(m, 0) {
+			gated++
+			if m.OutstandingDMiss(0) <= d.Threshold {
+				t.Fatal("DG gated below its threshold")
+			}
+		}
+	}
+	if gated == 0 {
+		t.Fatal("DG never gated the memory-bound thread")
+	}
+}
+
+func TestDGProtectsCoScheduledThread(t *testing.T) {
+	const cycles = 150_000
+	profs := []trace.Profile{memProfile(1), ilpProfile(2)}
+	run := func(pol pipeline.Policy) uint64 {
+		streams := []isa.Stream{trace.New(profs[0]), trace.New(profs[1])}
+		m := pipeline.New(pipeline.DefaultConfig(2), streams, pol)
+		m.CycleN(cycles)
+		return m.Committed(1)
+	}
+	if dg, ic := run(NewDG()), run(nil); dg <= ic {
+		t.Fatalf("DG ILP commits %d <= ICOUNT's %d", dg, ic)
+	}
+}
+
+func TestPDGGatesAtLeastAsEarlyAsDG(t *testing.T) {
+	profs := []trace.Profile{memProfile(1), ilpProfile(2)}
+	mk := func(pol pipeline.Policy) *pipeline.Machine {
+		streams := []isa.Stream{trace.New(profs[0]), trace.New(profs[1])}
+		return pipeline.New(pipeline.DefaultConfig(2), streams, pol)
+	}
+	dg, pdg := NewDG(), NewPDG()
+	mdg, mpdg := mk(dg), mk(pdg)
+	dgGated, pdgGated := 0, 0
+	for i := 0; i < 120_000; i++ {
+		mdg.Cycle()
+		mpdg.Cycle()
+		if dg.FetchLocked(mdg, 0) {
+			dgGated++
+		}
+		if pdg.FetchLocked(mpdg, 0) {
+			pdgGated++
+		}
+	}
+	if pdgGated == 0 {
+		t.Fatal("PDG never gated")
+	}
+	// The predictive variant gates earlier, so (on its own trajectory)
+	// it should gate at least as many cycles as reactive DG within
+	// a generous factor.
+	if float64(pdgGated) < 0.5*float64(dgGated) {
+		t.Fatalf("PDG gated %d cycles vs DG %d", pdgGated, dgGated)
+	}
+}
+
+func TestExtraPoliciesCloneReplay(t *testing.T) {
+	profs := []trace.Profile{memProfile(1), ilpProfile(2)}
+	for _, name := range []string{"STALL-FLUSH", "DG", "PDG"} {
+		streams := []isa.Stream{trace.New(profs[0]), trace.New(profs[1])}
+		m := pipeline.New(pipeline.DefaultConfig(2), streams, ByName(name))
+		m.CycleN(20_000)
+		c := m.Clone()
+		m.CycleN(20_000)
+		c.CycleN(20_000)
+		if m.Stats() != c.Stats() {
+			t.Fatalf("%s machine clone diverged", name)
+		}
+	}
+}

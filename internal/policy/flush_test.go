@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"testing"
+
+	"smthill/internal/isa"
+	"smthill/internal/pipeline"
+	"smthill/internal/trace"
+)
+
+// TestFlushThresholdPreservesMissClustering: with the trigger delay,
+// sibling misses already in the window issue before the flush fires, so
+// a burst-heavy thread under FLUSH commits far more than it would with
+// an instant trigger (threshold 0).
+func TestFlushThresholdPreservesMissClustering(t *testing.T) {
+	prof := trace.Profile{
+		Name: "bursty", Seed: 9,
+		A: trace.Params{
+			FracLoad: 0.3, FracStore: 0.05, FracFp: 0.1,
+			ChainDep: 0.1, WorkingSet: 8 << 20, StridePct: 0.3,
+			MissBurstProb: 0.03, BurstLen: 6, BranchNoise: 0.01,
+		},
+	}
+	run := func(threshold int) uint64 {
+		f := NewFlush()
+		f.Threshold = threshold
+		m := pipeline.New(pipeline.DefaultConfig(1), []isa.Stream{trace.New(prof)}, f)
+		m.CycleN(150_000)
+		return m.Committed(0)
+	}
+	instant := run(0)
+	delayed := run(DefaultFlushThreshold)
+	if float64(delayed) < 1.2*float64(instant) {
+		t.Fatalf("threshold did not preserve clustering: instant %d vs delayed %d", instant, delayed)
+	}
+}
+
+// TestFlushDisarmsOnFastReturn: a load that returns before the threshold
+// expires must not trigger a flush.
+func TestFlushDisarmsOnFastReturn(t *testing.T) {
+	f := NewFlush()
+	f.Threshold = 10
+	m := pipeline.New(pipeline.DefaultConfig(1), []isa.Stream{trace.New(memProfile(1))}, f)
+	// Drive the hooks directly: miss detected, returns 3 cycles later.
+	f.OnL2Miss(m, 0, 100)
+	m.CycleN(3)
+	f.OnL2MissDone(m, 0, 100)
+	m.CycleN(20) // trigger window passes
+	if m.Stats().Flushes != 0 {
+		t.Fatal("flush fired for a load that had already returned")
+	}
+	if f.FetchLocked(m, 0) {
+		t.Fatal("thread locked with no outstanding trigger")
+	}
+}
+
+// TestFlushOlderMissRearms: a detected miss older than the armed trigger
+// replaces it.
+func TestFlushOlderMissRearms(t *testing.T) {
+	f := NewFlush()
+	m := pipeline.New(pipeline.DefaultConfig(1), []isa.Stream{trace.New(memProfile(1))}, f)
+	f.OnL2Miss(m, 0, 200)
+	f.OnL2Miss(m, 0, 150) // older load detected later
+	if f.pendSeq[0] != 150 {
+		t.Fatalf("pending trigger seq %d, want 150", f.pendSeq[0])
+	}
+	f.OnL2Miss(m, 0, 180) // younger: ignored
+	if f.pendSeq[0] != 150 {
+		t.Fatalf("younger miss replaced the trigger: %d", f.pendSeq[0])
+	}
+}
+
+func TestFlushCloneCopiesPendingState(t *testing.T) {
+	f := NewFlush()
+	m := pipeline.New(pipeline.DefaultConfig(1), []isa.Stream{trace.New(memProfile(1))}, f)
+	f.OnL2Miss(m, 0, 42)
+	c := f.Clone().(*Flush)
+	if !c.pending[0] || c.pendSeq[0] != 42 || c.Threshold != f.Threshold {
+		t.Fatal("clone dropped pending trigger state")
+	}
+	// Mutating the clone must not affect the original.
+	c.pending[0] = false
+	if !f.pending[0] {
+		t.Fatal("clone shares state with original")
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smthill/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almost(s.Mean, 2.5) || !almost(s.Min, 1) || !almost(s.Max, 4) {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if !almost(s.Std, want) {
+		t.Fatalf("std = %f, want %f", s.Std, want)
+	}
+	if !almost(s.Median, 2.5) {
+		t.Fatalf("median = %f", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {12.5, 15},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Fatalf("P%.1f = %f, want %f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if !almost(Mean([]float64{2, 4}), 3) {
+		t.Fatal("mean wrong")
+	}
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("geomean wrong")
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+}
+
+func TestBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		if s.Median < s.Min || s.Median > s.Max {
+			return false
+		}
+		for _, p := range []float64{0, 10, 50, 90, 100} {
+			v := Percentile(xs, p)
+			if v < s.Min || v > s.Max {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMeanBelowMeanProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + r.Float64()*10
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"smthill/internal/trace"
+)
+
+// validateParams sanity-checks one behaviour pole.
+func validateParams(t *testing.T, app, pole string, p trace.Params) {
+	t.Helper()
+	probs := map[string]float64{
+		"FracLoad": p.FracLoad, "FracStore": p.FracStore, "FracFp": p.FracFp,
+		"FracMulDiv": p.FracMulDiv, "ChainDep": p.ChainDep,
+		"StridePct": p.StridePct, "PointerChase": p.PointerChase,
+		"MissBurstProb": p.MissBurstProb, "BranchNoise": p.BranchNoise,
+		"AddrReady": p.AddrReady,
+	}
+	for name, v := range probs {
+		if v < 0 || v > 1 {
+			t.Errorf("%s pole %s: %s = %f outside [0,1]", app, pole, name, v)
+		}
+	}
+	if p.FracLoad+p.FracStore > 0.8 {
+		t.Errorf("%s pole %s: memory fraction %.2f leaves too little compute",
+			app, pole, p.FracLoad+p.FracStore)
+	}
+	if p.BurstLen < 0 {
+		t.Errorf("%s pole %s: negative burst length", app, pole)
+	}
+}
+
+func TestAllProfilesAreValid(t *testing.T) {
+	for name, app := range Catalog() {
+		if app.Name != name {
+			t.Errorf("catalog key %q maps to app named %q", name, app.Name)
+		}
+		p := app.Profile.Defaulted()
+		validateParams(t, name, "A", p.A)
+		if p.Kind != trace.PhaseNone {
+			validateParams(t, name, "B", p.B)
+			if p.SegLen == 0 {
+				t.Errorf("%s has phase variation but zero segment length", name)
+			}
+		}
+		if app.RscClass < 32 || app.RscClass > 256 {
+			t.Errorf("%s RscClass %d implausible", name, app.RscClass)
+		}
+	}
+}
+
+func TestRscClassOrderingsWithinTypes(t *testing.T) {
+	// The paper's Table 2 orderings the calibration targets.
+	leq := func(a, b string) {
+		if Get(a).RscClass > Get(b).RscClass {
+			t.Errorf("RscClass(%s)=%d > RscClass(%s)=%d", a, Get(a).RscClass, b, Get(b).RscClass)
+		}
+	}
+	leq("perlbmk", "bzip2")
+	leq("bzip2", "eon")
+	leq("gzip", "parser")
+	leq("vortex", "gcc")
+	leq("crafty", "gap")
+	leq("fma3d", "mesa")
+	leq("mesa", "apsi")
+	leq("apsi", "wupwise")
+	leq("lucas", "mcf")
+	leq("equake", "applu")
+	leq("applu", "ammp")
+	leq("art", "swim")
+}
+
+func TestEveryAppRunsSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long smoke test")
+	}
+	for _, name := range Names() {
+		w := Workload{Apps: []string{name}}
+		m := w.NewMachine(nil)
+		m.CycleN(30_000)
+		if m.Committed(0) < 500 {
+			t.Errorf("%s committed only %d instructions in 30K cycles", name, m.Committed(0))
+		}
+	}
+}
+
+func TestProfileStreamsAreIndependent(t *testing.T) {
+	// Two instances of the same app in different machines replay the
+	// same stream (determinism across Workload constructions).
+	a := ByName("art-mcf").Streams()
+	b := ByName("art-mcf").Streams()
+	for i := 0; i < 2; i++ {
+		ga, gb := a[i].(*trace.Gen), b[i].(*trace.Gen)
+		if ga == gb {
+			t.Fatal("workload instances share a generator")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"smthill/internal/trace"
+)
+
+func TestCatalogHas22Apps(t *testing.T) {
+	if got := len(Catalog()); got != 22 {
+		t.Fatalf("catalog has %d apps, want 22", got)
+	}
+}
+
+func TestCatalogSeedsAreDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for name, app := range Catalog() {
+		if app.Profile.Seed == 0 {
+			t.Fatalf("%s has zero seed", name)
+		}
+		if other, dup := seen[app.Profile.Seed]; dup {
+			t.Fatalf("%s and %s share a seed", name, other)
+		}
+		seen[app.Profile.Seed] = name
+	}
+}
+
+func TestCatalogClassesMatchTable2(t *testing.T) {
+	wantMem := map[string]bool{
+		"equake": true, "vpr": true, "mcf": true, "twolf": true, "art": true,
+		"lucas": true, "ammp": true, "swim": true, "applu": true,
+	}
+	for name, app := range Catalog() {
+		if (app.Type == MEM) != wantMem[name] {
+			t.Errorf("%s classified %v", name, app.Type)
+		}
+	}
+}
+
+func TestCatalogFreqMatchesTable2(t *testing.T) {
+	wantHigh := map[string]bool{
+		"vortex": true, "gzip": true, "parser": true, "crafty": true,
+		"gcc": true, "vpr": true, "twolf": true, "ammp": true,
+	}
+	for name, app := range Catalog() {
+		kind := app.Profile.Kind
+		switch {
+		case name == "mcf":
+			if kind != trace.PhaseLow {
+				t.Errorf("mcf Freq = %v, want Low", kind)
+			}
+		case wantHigh[name]:
+			if kind != trace.PhaseHigh {
+				t.Errorf("%s Freq = %v, want High", name, kind)
+			}
+		default:
+			if kind != trace.PhaseNone {
+				t.Errorf("%s Freq = %v, want No", name, kind)
+			}
+		}
+	}
+}
+
+func TestGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on unknown app did not panic")
+		}
+	}()
+	Get("notanapp")
+}
+
+func TestSetsShape(t *testing.T) {
+	if got := len(TwoThread()); got != 21 {
+		t.Fatalf("%d 2-thread workloads, want 21", got)
+	}
+	if got := len(FourThread()); got != 21 {
+		t.Fatalf("%d 4-thread workloads, want 21", got)
+	}
+	if got := len(All()); got != 42 {
+		t.Fatalf("%d workloads, want 42", got)
+	}
+	for _, g := range Groups() {
+		if got := len(ByGroup(g)); got != 7 {
+			t.Fatalf("group %s has %d workloads, want 7", g, got)
+		}
+	}
+}
+
+func TestWorkloadMembersExist(t *testing.T) {
+	for _, w := range All() {
+		want := 2
+		if w.Group[len(w.Group)-1] == '4' {
+			want = 4
+		}
+		if w.Threads() != want {
+			t.Errorf("%s (%s) has %d members", w.Name(), w.Group, w.Threads())
+		}
+		seen := map[string]bool{}
+		for _, a := range w.Apps {
+			Get(a) // panics on unknown names
+			if seen[a] {
+				t.Errorf("%s repeats %s", w.Name(), a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestGroupTypesRespectDefinitions(t *testing.T) {
+	// ILP groups contain only ILP members; MEM groups are mostly MEM
+	// (the paper's MEM4 includes parser); MIX groups contain both.
+	for _, w := range ILP2() {
+		for _, a := range w.Apps {
+			if Get(a).Type != ILP {
+				t.Errorf("ILP2 workload %s contains MEM app %s", w.Name(), a)
+			}
+		}
+	}
+	for _, w := range ILP4() {
+		for _, a := range w.Apps {
+			if Get(a).Type != ILP {
+				t.Errorf("ILP4 workload %s contains MEM app %s", w.Name(), a)
+			}
+		}
+	}
+	for _, grp := range [][]Workload{MIX2(), MIX4()} {
+		for _, w := range grp {
+			hasILP, hasMEM := false, false
+			for _, a := range w.Apps {
+				if Get(a).Type == ILP {
+					hasILP = true
+				} else {
+					hasMEM = true
+				}
+			}
+			if !hasILP || !hasMEM {
+				t.Errorf("MIX workload %s is not mixed", w.Name())
+			}
+		}
+	}
+	for _, grp := range [][]Workload{MEM2(), MEM4()} {
+		for _, w := range grp {
+			mem := 0
+			for _, a := range w.Apps {
+				if Get(a).Type == MEM {
+					mem++
+				}
+			}
+			if mem*2 < len(w.Apps) {
+				t.Errorf("MEM workload %s has only %d MEM members", w.Name(), mem)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w := ByName("art-mcf")
+	if w.Group != "MEM2" || w.Apps[0] != "art" || w.Apps[1] != "mcf" {
+		t.Fatalf("ByName(art-mcf) = %+v", w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload did not panic")
+		}
+	}()
+	ByName("foo-bar")
+}
+
+func TestNewMachineRuns(t *testing.T) {
+	m := ByName("art-mcf").NewMachine(nil)
+	m.CycleN(5_000)
+	if m.Stats().Committed == 0 {
+		t.Fatal("workload machine committed nothing")
+	}
+}
+
+func TestRscSum(t *testing.T) {
+	w := ByName("apsi-eon")
+	if got := w.RscSum(); got != Get("apsi").RscClass+Get("eon").RscClass {
+		t.Fatalf("RscSum = %d", got)
+	}
+}
