@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: ci vet build test race
+
+# ci is the gate: vet, build everything, then the full test suite under
+# the race detector (internal/sweep's pool tests are the concurrency
+# canary — see TestWorkerPoolConcurrency).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

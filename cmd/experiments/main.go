@@ -4,23 +4,47 @@
 //
 //	experiments [flags] <experiment> [experiment...]
 //	experiments -epochs 240 -stride 2 all
+//	experiments -j 8 -cache-dir ~/.cache/smthill -progress fig9
 //
 // Experiments: table1 table2 table3 fig2 fig4 fig5 fig7 fig9 fig10 fig11
 // fig12 qual sec5 all. Flags scale the runs; the defaults regenerate every
 // experiment at laptop scale (see DESIGN.md's scaling note); -paper uses
 // the paper's methodology sizes.
+//
+// The independent simulations behind each experiment run on the
+// internal/sweep worker pool: -j bounds the parallelism, -cache-dir
+// persists results across invocations, and -progress reports per-job
+// completion on stderr. Output is byte-identical for any -j and cache
+// state.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"smthill/internal/experiment"
 	"smthill/internal/pipeline"
 	"smthill/internal/resource"
+	"smthill/internal/sweep"
 	"smthill/internal/workload"
 )
+
+// experimentNames lists every runnable experiment, in "all" order.
+var experimentNames = []string{
+	"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig7",
+	"fig9", "fig10", "fig11", "fig12", "qual", "sec5",
+}
+
+// options carries the non-scaling flags into run.
+type options struct {
+	subset   string
+	fig12wl  string
+	jsonRows bool
+}
 
 func main() {
 	var (
@@ -29,6 +53,10 @@ func main() {
 		paper     = flag.Bool("paper", false, "use the paper-scale configuration (slow)")
 		loadsFlag = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
 		wl        = flag.String("fig12-workload", "mcf-eon", "workload for fig12")
+		jobs      = flag.Int("j", 0, "max parallel simulations (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache-dir", "", "on-disk result cache directory (empty = no cache)")
+		progress  = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		jsonRows  = flag.Bool("json", false, "emit JSON lines instead of tables for fig4/fig9/fig11")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -47,37 +75,72 @@ func main() {
 		cfg.OffLineStride = *stride
 	}
 
+	eng := sweep.NewEngine(*jobs)
+	if *cacheDir != "" {
+		c, err := sweep.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng.SetCache(c)
+	}
+	if *progress {
+		eng.SetObserver(sweep.NewReporter(os.Stderr).Observe)
+	}
+	experiment.SetEngine(eng)
+
+	opts := options{subset: *loadsFlag, fig12wl: *wl, jsonRows: *jsonRows}
 	for _, name := range flag.Args() {
-		run(cfg, name, *loadsFlag, *wl)
+		run(cfg, name, opts)
 	}
 }
 
-func pick(subset string, def []workload.Workload) []workload.Workload {
+// pick resolves a comma-separated workload subset, or returns def when
+// empty. Unknown names error with the full list of valid ones.
+func pick(subset string, def []workload.Workload) ([]workload.Workload, error) {
 	if subset == "" {
-		return def
+		return def, nil
+	}
+	byName := map[string]workload.Workload{}
+	names := make([]string, 0, len(workload.All()))
+	for _, w := range workload.All() {
+		byName[w.Name()] = w
+		names = append(names, w.Name())
 	}
 	var out []workload.Workload
 	for _, n := range splitComma(subset) {
-		out = append(out, workload.ByName(n))
+		w, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q; valid workloads:\n  %s",
+				n, strings.Join(names, "\n  "))
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// mustPick is pick for main's code paths: print and exit on bad names.
+func mustPick(subset string, def []workload.Workload) []workload.Workload {
+	out, err := pick(subset, def)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	return out
 }
 
+// splitComma splits a comma-separated list, dropping empty elements.
 func splitComma(s string) []string {
 	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			if i > start {
-				out = append(out, s[start:i])
-			}
-			start = i + 1
+	for _, part := range strings.Split(s, ",") {
+		if part != "" {
+			out = append(out, part)
 		}
 	}
 	return out
 }
 
-func run(cfg experiment.Config, name, subset, fig12wl string) {
+func run(cfg experiment.Config, name string, opts options) {
 	out := os.Stdout
 	switch name {
 	case "table1":
@@ -92,8 +155,12 @@ func run(cfg experiment.Config, name, subset, fig12wl string) {
 		fmt.Fprintln(out, "== Figure 2: IPC vs resource distribution (mesa/vortex/fma3d) ==")
 		experiment.WriteFigure2(out, experiment.Figure2(cfg, 16))
 	case "fig4":
+		rows := experiment.Figure4(cfg, mustPick(opts.subset, workload.TwoThread()))
+		if opts.jsonRows {
+			writeCompareJSON(out, "fig4", rows)
+			return
+		}
 		fmt.Fprintln(out, "== Figure 4: OFF-LINE vs ICOUNT/FLUSH/DCRA (2-thread, weighted IPC) ==")
-		rows := experiment.Figure4(cfg, pick(subset, workload.TwoThread()))
 		experiment.WriteCompare(out, rows)
 		for _, b := range []string{"ICOUNT", "FLUSH", "DCRA"} {
 			fmt.Fprintf(out, "OFF-LINE gain over %s: %+.1f%%\n", b, 100*experiment.Gains(rows, "OFF-LINE", b))
@@ -107,32 +174,41 @@ func run(cfg experiment.Config, name, subset, fig12wl string) {
 		}
 	case "fig7":
 		fmt.Fprintln(out, "== Figures 6/7: hill-width analysis (2-thread) ==")
-		experiment.WriteHillWidths(out, experiment.HillWidths(cfg, pick(subset, workload.TwoThread())))
+		experiment.WriteHillWidths(out, experiment.HillWidths(cfg, mustPick(opts.subset, workload.TwoThread())))
 	case "fig9":
+		rows := experiment.Figure9(cfg, mustPick(opts.subset, workload.All()))
+		if opts.jsonRows {
+			writeCompareJSON(out, "fig9", rows)
+			return
+		}
 		fmt.Fprintln(out, "== Figure 9: HILL-WIPC vs ICOUNT/FLUSH/DCRA (42 workloads) ==")
-		rows := experiment.Figure9(cfg, pick(subset, workload.All()))
 		experiment.WriteCompare(out, rows)
 		for _, b := range []string{"ICOUNT", "FLUSH", "DCRA"} {
 			fmt.Fprintf(out, "HILL gain over %s: %+.1f%%\n", b, 100*experiment.Gains(rows, "HILL", b))
 		}
 	case "fig10":
 		fmt.Fprintln(out, "== Figure 10: metric matrix by workload group ==")
-		cells := experiment.Figure10(cfg, pick(subset, workload.All()))
+		cells := experiment.Figure10(cfg, mustPick(opts.subset, workload.All()))
 		experiment.WriteFigure10(out, cells)
 		fmt.Fprintf(out, "matched-metric advantage: %+.1f%%\n", 100*experiment.MatchedMetricAdvantage(cells))
 	case "fig11":
+		top := experiment.Figure11TwoThread(cfg, mustPick(opts.subset, workload.TwoThread()))
+		bottom := experiment.Figure11FourThread(cfg, mustPick(opts.subset, workload.FourThread()))
+		if opts.jsonRows {
+			writeFigure11JSON(out, "fig11-2t", top)
+			writeFigure11JSON(out, "fig11-4t", bottom)
+			return
+		}
 		fmt.Fprintln(out, "== Figure 11 (top): HILL-WIPC vs OFF-LINE, 2-thread ==")
-		top := experiment.Figure11TwoThread(cfg, pick(subset, workload.TwoThread()))
 		experiment.WriteFigure11(out, top)
 		fmt.Fprintf(out, "HILL-WIPC achieves %.1f%% of OFF-LINE\n", 100*experiment.FractionOfIdeal(top, "OFF-LINE"))
 		fmt.Fprintln(out, "== Figure 11 (bottom): DCRA vs HILL-WIPC vs RAND-HILL, 4-thread ==")
-		bottom := experiment.Figure11FourThread(cfg, pick(subset, workload.FourThread()))
 		experiment.WriteFigure11(out, bottom)
 		fmt.Fprintf(out, "HILL-WIPC achieves %.1f%% of RAND-HILL\n", 100*experiment.FractionOfIdeal(bottom, "RAND-HILL"))
 		fmt.Fprintf(out, "RAND-HILL gain over DCRA: %+.1f%%\n", 100*fig11Gain(bottom))
 	case "fig12":
-		fmt.Fprintf(out, "== Figure 12: time-varying behaviour (%s) ==\n", fig12wl)
-		rows := experiment.Figure12(cfg, workload.ByName(fig12wl))
+		fmt.Fprintf(out, "== Figure 12: time-varying behaviour (%s) ==\n", opts.fig12wl)
+		rows := experiment.Figure12(cfg, workload.ByName(opts.fig12wl))
 		experiment.WriteFigure12(out, rows)
 		dist, frac := experiment.TrackingError(rows, cfg.OffLineStride)
 		fmt.Fprintf(out, "mean |HILL-BEST| = %.1f regs; HILL achieves %.1f%% of per-epoch ideal\n", dist, 100*frac)
@@ -141,15 +217,53 @@ func run(cfg experiment.Config, name, subset, fig12wl string) {
 		experiment.WriteQualitative(out, experiment.Qualitative(cfg))
 	case "sec5":
 		fmt.Fprintln(out, "== Section 5: phase detection and prediction ==")
-		experiment.WriteSection5(out, experiment.Section5(cfg, pick(subset, workload.All())))
+		experiment.WriteSection5(out, experiment.Section5(cfg, mustPick(opts.subset, workload.All())))
 	case "all":
-		for _, n := range []string{"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "qual", "sec5"} {
-			run(cfg, n, subset, fig12wl)
+		for _, n := range experimentNames {
+			run(cfg, n, opts)
 			fmt.Fprintln(out)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments:\n  %s\n",
+			name, strings.Join(append(append([]string{}, experimentNames...), "all"), " "))
 		os.Exit(2)
+	}
+}
+
+// jsonRow is the -json line format for the compare-style experiments,
+// feeding bench-trajectory tooling. Derived/Predicted appear only for
+// fig11 rows.
+type jsonRow struct {
+	Experiment string             `json:"experiment"`
+	Workload   string             `json:"workload"`
+	Group      string             `json:"group"`
+	Scores     map[string]float64 `json:"scores"`
+	Derived    string             `json:"derived,omitempty"`
+	Predicted  string             `json:"predicted,omitempty"`
+}
+
+func writeCompareJSON(w io.Writer, name string, rows []experiment.CompareRow) {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(jsonRow{
+			Experiment: name, Workload: r.Workload, Group: r.Group, Scores: r.Scores,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeFigure11JSON(w io.Writer, name string, rows []experiment.Figure11Row) {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(jsonRow{
+			Experiment: name, Workload: r.Workload, Group: r.Group, Scores: r.Scores,
+			Derived: r.Derived, Predicted: r.Predicted,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"smthill/internal/experiment"
@@ -41,11 +44,71 @@ func TestFig11Gain(t *testing.T) {
 	}
 }
 
-func TestPickValidatesNames(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown workload name did not panic")
+func TestPickResolvesNames(t *testing.T) {
+	loads, err := pick("art-mcf,gzip-bzip2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 2 || loads[0].Name() != "art-mcf" || loads[1].Name() != "gzip-bzip2" {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestPickRejectsUnknownNameWithListing(t *testing.T) {
+	_, err := pick("not-a-workload", nil)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "not-a-workload") {
+		t.Fatalf("error does not name the offender: %s", msg)
+	}
+	// The error must teach the valid vocabulary.
+	for _, want := range []string{"art-mcf", "gzip-bzip2", "art-mcf-swim-twolf"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error listing missing %q: %s", want, msg)
 		}
-	}()
-	pick("not-a-workload", nil)
+	}
+}
+
+func TestWriteCompareJSON(t *testing.T) {
+	rows := []experiment.CompareRow{
+		{Workload: "a-b", Group: "MIX2", Scores: map[string]float64{"HILL": 1.25, "ICOUNT": 1.0}},
+		{Workload: "c-d", Group: "ILP2", Scores: map[string]float64{"HILL": 2.5, "ICOUNT": 2.0}},
+	}
+	var buf bytes.Buffer
+	writeCompareJSON(&buf, "fig9", rows)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	var got jsonRow
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "fig9" || got.Workload != "a-b" || got.Scores["HILL"] != 1.25 {
+		t.Fatalf("row = %+v", got)
+	}
+	if got.Derived != "" || got.Predicted != "" {
+		t.Fatalf("compare row carries fig11 labels: %+v", got)
+	}
+}
+
+func TestWriteFigure11JSON(t *testing.T) {
+	rows := []experiment.Figure11Row{{
+		Workload: "a-b", Group: "MEM2", Derived: "LG(L)", Predicted: "TL",
+		Scores: map[string]float64{"HILL-WIPC": 1.1, "OFF-LINE": 1.2},
+	}}
+	var buf bytes.Buffer
+	writeFigure11JSON(&buf, "fig11-2t", rows)
+	var got jsonRow
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "fig11-2t" || got.Derived != "LG(L)" || got.Predicted != "TL" {
+		t.Fatalf("row = %+v", got)
+	}
+	if got.Scores["OFF-LINE"] != 1.2 {
+		t.Fatalf("scores = %v", got.Scores)
+	}
 }

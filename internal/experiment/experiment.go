@@ -74,13 +74,12 @@ func soloIPC(app workload.App, cycles int) float64 {
 	return float64(m.Committed(0)) / float64(cycles)
 }
 
-// Singles returns the stand-alone reference IPC of each member of w.
+// Singles returns the stand-alone reference IPC of each member of w. The
+// runs go through the sweep engine, so repeated requests for the same
+// application (across workloads, experiments, or cached invocations) are
+// computed once.
 func Singles(cfg Config, w workload.Workload) []float64 {
-	out := make([]float64, w.Threads())
-	for i, name := range w.Apps {
-		out[i] = soloIPC(workload.Get(name), cfg.SoloCycles)
-	}
-	return out
+	return singlesFor(soloBatch(cfg, []workload.Workload{w}), w)
 }
 
 // techniques returns the baseline per-cycle policies of the comparison.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"smthill/internal/metrics"
+	"smthill/internal/sweep"
 	"smthill/internal/workload"
 )
 
@@ -24,13 +25,36 @@ func Figure10Techniques() []string {
 	return []string{"ICOUNT", "FLUSH", "DCRA", "HILL-IPC", "HILL-WIPC", "HILL-HWIPC"}
 }
 
+// hillVariants maps each Figure 10 HILL technique to its feedback metric.
+var hillVariants = []struct {
+	Tech   string
+	Metric metrics.Kind
+}{
+	{"HILL-IPC", metrics.AvgIPC},
+	{"HILL-WIPC", metrics.WeightedIPC},
+	{"HILL-HWIPC", metrics.HmeanWeightedIPC},
+}
+
 // Figure10 measures every technique on every workload once, recording
 // per-thread IPCs so all three evaluation metrics can be applied
-// (Figure 10's three panels).
+// (Figure 10's three panels). All runs go through the sweep engine as
+// one batch.
 func Figure10(cfg Config, loads []workload.Workload) []Figure10Cell {
+	solos := soloBatch(cfg, loads)
+	var jobs []sweep.Job[[]float64]
+	for _, w := range loads {
+		for _, pol := range baselineNames() {
+			jobs = append(jobs, baselineJob(cfg, w, pol))
+		}
+		for _, v := range hillVariants {
+			jobs = append(jobs, hillJob(cfg, w, v.Metric))
+		}
+	}
+	runs := mustRun(jobs)
+
 	var cells []Figure10Cell
 	for _, w := range loads {
-		singles := Singles(cfg, w)
+		singles := singlesFor(solos, w)
 		add := func(tech string, ipc []float64) {
 			cells = append(cells, Figure10Cell{
 				Workload: w.Name(), Group: w.Group, Tech: tech,
@@ -38,11 +62,11 @@ func Figure10(cfg Config, loads []workload.Workload) []Figure10Cell {
 			})
 		}
 		for _, pol := range baselineNames() {
-			add(pol, runBaseline(cfg, w, pol))
+			add(pol, runs[baselineKey(cfg, w, pol)])
 		}
-		add("HILL-IPC", runHill(cfg, w, metrics.AvgIPC))
-		add("HILL-WIPC", runHill(cfg, w, metrics.WeightedIPC))
-		add("HILL-HWIPC", runHill(cfg, w, metrics.HmeanWeightedIPC))
+		for _, v := range hillVariants {
+			add(v.Tech, runs[hillKey(cfg, w, v.Metric)])
+		}
 	}
 	return cells
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"smthill/internal/metrics"
+	"smthill/internal/sweep"
 	"smthill/internal/trace"
 	"smthill/internal/workload"
 )
@@ -73,17 +75,26 @@ func PredictBehaviour(label string) string {
 }
 
 // Figure11TwoThread compares HILL-WIPC against OFF-LINE on the 2-thread
-// workloads (the figure's top panel).
+// workloads (the figure's top panel). Runs are one sweep-engine batch.
 func Figure11TwoThread(cfg Config, loads []workload.Workload) []Figure11Row {
+	solos := soloBatch(cfg, loads)
+	var jobs []sweep.Job[[]float64]
+	for _, w := range loads {
+		jobs = append(jobs,
+			hillJob(cfg, w, metrics.WeightedIPC),
+			offLineJob(cfg, w, singlesFor(solos, w)))
+	}
+	runs := mustRun(jobs)
+
 	rows := make([]Figure11Row, 0, len(loads))
 	for _, w := range loads {
-		singles := Singles(cfg, w)
+		singles := singlesFor(solos, w)
 		label := DeriveLabel(w)
 		rows = append(rows, Figure11Row{
 			Workload: w.Name(), Group: w.Group,
 			Scores: map[string]float64{
-				"HILL-WIPC": endScoreW(cfg, w, singles),
-				"OFF-LINE":  endScoreOffLine(cfg, w, singles),
+				"HILL-WIPC": endScore(metrics.WeightedIPC, runs[hillKey(cfg, w, metrics.WeightedIPC)], singles),
+				"OFF-LINE":  endScore(metrics.WeightedIPC, runs[offLineKey(cfg, w)], singles),
 			},
 			Derived:   label,
 			Predicted: PredictBehaviour(label),
@@ -95,16 +106,26 @@ func Figure11TwoThread(cfg Config, loads []workload.Workload) []Figure11Row {
 // Figure11FourThread compares DCRA, HILL-WIPC, and RAND-HILL on the
 // 4-thread workloads (the figure's bottom panel).
 func Figure11FourThread(cfg Config, loads []workload.Workload) []Figure11Row {
+	solos := soloBatch(cfg, loads)
+	var jobs []sweep.Job[[]float64]
+	for _, w := range loads {
+		jobs = append(jobs,
+			baselineJob(cfg, w, "DCRA"),
+			hillJob(cfg, w, metrics.WeightedIPC),
+			randHillJob(cfg, w, singlesFor(solos, w)))
+	}
+	runs := mustRun(jobs)
+
 	rows := make([]Figure11Row, 0, len(loads))
 	for _, w := range loads {
-		singles := Singles(cfg, w)
+		singles := singlesFor(solos, w)
 		label := DeriveLabel(w)
 		rows = append(rows, Figure11Row{
 			Workload: w.Name(), Group: w.Group,
 			Scores: map[string]float64{
-				"DCRA":      endScoreBaseline(cfg, w, "DCRA", singles),
-				"HILL-WIPC": endScoreW(cfg, w, singles),
-				"RAND-HILL": endScoreRandHill(cfg, w, singles),
+				"DCRA":      endScore(metrics.WeightedIPC, runs[baselineKey(cfg, w, "DCRA")], singles),
+				"HILL-WIPC": endScore(metrics.WeightedIPC, runs[hillKey(cfg, w, metrics.WeightedIPC)], singles),
+				"RAND-HILL": endScore(metrics.WeightedIPC, runs[randHillKey(cfg, w)], singles),
 			},
 			Derived:   label,
 			Predicted: PredictBehaviour(label),

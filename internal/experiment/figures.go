@@ -7,6 +7,7 @@ import (
 
 	"smthill/internal/core"
 	"smthill/internal/metrics"
+	"smthill/internal/sweep"
 	"smthill/internal/workload"
 )
 
@@ -64,15 +65,28 @@ func aggregateIPC(epochs []core.OffLineEpoch, threads, epochSize int) []float64 
 
 // Figure4 reproduces the limit study: OFF-LINE exhaustive learning versus
 // ICOUNT, FLUSH, and DCRA on the 2-thread workloads, under weighted IPC.
+// All runs are submitted to the sweep engine in one batch; rows are
+// assembled serially in loads order, so output is independent of the
+// engine's parallelism.
 func Figure4(cfg Config, loads []workload.Workload) []CompareRow {
+	solos := soloBatch(cfg, loads)
+	var jobs []sweep.Job[[]float64]
+	for _, w := range loads {
+		for _, pol := range baselineNames() {
+			jobs = append(jobs, baselineJob(cfg, w, pol))
+		}
+		jobs = append(jobs, offLineJob(cfg, w, singlesFor(solos, w)))
+	}
+	runs := mustRun(jobs)
+
 	rows := make([]CompareRow, 0, len(loads))
 	for _, w := range loads {
-		singles := Singles(cfg, w)
+		singles := singlesFor(solos, w)
 		scores := map[string]float64{}
 		for _, pol := range baselineNames() {
-			scores[pol] = endScore(metrics.WeightedIPC, runBaseline(cfg, w, pol), singles)
+			scores[pol] = endScore(metrics.WeightedIPC, runs[baselineKey(cfg, w, pol)], singles)
 		}
-		scores["OFF-LINE"] = endScore(metrics.WeightedIPC, runOffLine(cfg, w, singles), singles)
+		scores["OFF-LINE"] = endScore(metrics.WeightedIPC, runs[offLineKey(cfg, w)], singles)
 		rows = append(rows, CompareRow{Workload: w.Name(), Group: w.Group, Scores: scores})
 	}
 	return rows
@@ -81,35 +95,27 @@ func Figure4(cfg Config, loads []workload.Workload) []CompareRow {
 // Figure9 reproduces the main on-line result: hill-climbing (weighted IPC
 // feedback) versus ICOUNT, FLUSH, and DCRA across workloads.
 func Figure9(cfg Config, loads []workload.Workload) []CompareRow {
+	solos := soloBatch(cfg, loads)
+	var jobs []sweep.Job[[]float64]
+	for _, w := range loads {
+		for _, pol := range baselineNames() {
+			jobs = append(jobs, baselineJob(cfg, w, pol))
+		}
+		jobs = append(jobs, hillJob(cfg, w, metrics.WeightedIPC))
+	}
+	runs := mustRun(jobs)
+
 	rows := make([]CompareRow, 0, len(loads))
 	for _, w := range loads {
-		singles := Singles(cfg, w)
+		singles := singlesFor(solos, w)
 		scores := map[string]float64{}
 		for _, pol := range baselineNames() {
-			scores[pol] = endScore(metrics.WeightedIPC, runBaseline(cfg, w, pol), singles)
+			scores[pol] = endScore(metrics.WeightedIPC, runs[baselineKey(cfg, w, pol)], singles)
 		}
-		scores["HILL"] = endScore(metrics.WeightedIPC, runHill(cfg, w, metrics.WeightedIPC), singles)
+		scores["HILL"] = endScore(metrics.WeightedIPC, runs[hillKey(cfg, w, metrics.WeightedIPC)], singles)
 		rows = append(rows, CompareRow{Workload: w.Name(), Group: w.Group, Scores: scores})
 	}
 	return rows
-}
-
-// endScoreBaseline, endScoreW, endScoreOffLine, and endScoreRandHill run
-// one technique on one workload and evaluate the weighted-IPC end metric.
-func endScoreBaseline(cfg Config, w workload.Workload, pol string, singles []float64) float64 {
-	return endScore(metrics.WeightedIPC, runBaseline(cfg, w, pol), singles)
-}
-
-func endScoreW(cfg Config, w workload.Workload, singles []float64) float64 {
-	return endScore(metrics.WeightedIPC, runHill(cfg, w, metrics.WeightedIPC), singles)
-}
-
-func endScoreOffLine(cfg Config, w workload.Workload, singles []float64) float64 {
-	return endScore(metrics.WeightedIPC, runOffLine(cfg, w, singles), singles)
-}
-
-func endScoreRandHill(cfg Config, w workload.Workload, singles []float64) float64 {
-	return endScore(metrics.WeightedIPC, runRandHill(cfg, w, singles), singles)
 }
 
 // Techniques lists the technique names present in rows, reference

@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"smthill/internal/core"
 	"smthill/internal/metrics"
+	"smthill/internal/sweep"
 	"smthill/internal/workload"
 )
 
@@ -24,31 +27,61 @@ type Section5Row struct {
 	Jumps int
 }
 
-// runPhaseHill measures the Section 5 technique on w.
-func runPhaseHill(cfg Config, w workload.Workload) ([]float64, *core.PhaseHill) {
-	m := w.NewMachine(nil)
-	m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
-	ph := core.NewPhaseHill(w.Threads(), m.Resources().Sizes()[renameKind], metrics.WeightedIPC)
-	r := core.NewRunner(m, ph, metrics.WeightedIPC)
-	r.EpochSize = cfg.EpochSize
-	r.Run(cfg.Epochs)
-	return r.TotalsSince(0), ph
+// phaseHillResult is the cacheable outcome of one PhaseHill run.
+type phaseHillResult struct {
+	IPC    []float64
+	Phases int
+	Jumps  int
 }
 
-// Section5 measures HILL-WIPC with and without phase support.
+// phaseHillKey identifies one Section 5 run; like plain hill-climbing it
+// samples SingleIPC on-line, so only the epoch geometry matters.
+func phaseHillKey(cfg Config, w workload.Workload) string {
+	return fmt.Sprintf("v%d|phasehill|wl=%s|es=%d|ep=%d|wu=%d",
+		resultsVersion, w.Name(), cfg.EpochSize, cfg.Epochs, cfg.WarmupEpochs)
+}
+
+// phaseHillJob measures the Section 5 technique on w.
+func phaseHillJob(cfg Config, w workload.Workload) sweep.Job[phaseHillResult] {
+	return sweep.Job[phaseHillResult]{
+		Key: phaseHillKey(cfg, w),
+		Run: func(context.Context) (phaseHillResult, error) {
+			m := w.NewMachine(nil)
+			m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
+			ph := core.NewPhaseHill(w.Threads(), m.Resources().Sizes()[renameKind], metrics.WeightedIPC)
+			r := core.NewRunner(m, ph, metrics.WeightedIPC)
+			r.EpochSize = cfg.EpochSize
+			r.Run(cfg.Epochs)
+			return phaseHillResult{IPC: r.TotalsSince(0), Phases: ph.Phases(), Jumps: ph.Jumps}, nil
+		},
+	}
+}
+
+// Section5 measures HILL-WIPC with and without phase support. The plain
+// hill runs share their job keys with Figure 9, so under one engine they
+// are computed (or cached) once across the whole suite.
 func Section5(cfg Config, loads []workload.Workload) []Section5Row {
+	solos := soloBatch(cfg, loads)
+	hillJobs := make([]sweep.Job[[]float64], 0, len(loads))
+	phaseJobs := make([]sweep.Job[phaseHillResult], 0, len(loads))
+	for _, w := range loads {
+		hillJobs = append(hillJobs, hillJob(cfg, w, metrics.WeightedIPC))
+		phaseJobs = append(phaseJobs, phaseHillJob(cfg, w))
+	}
+	hills := mustRun(hillJobs)
+	phases := mustRun(phaseJobs)
+
 	rows := make([]Section5Row, 0, len(loads))
 	for _, w := range loads {
-		singles := Singles(cfg, w)
-		hill := endScoreW(cfg, w, singles)
-		ipc, ph := runPhaseHill(cfg, w)
+		singles := singlesFor(solos, w)
+		ph := phases[phaseHillKey(cfg, w)]
 		rows = append(rows, Section5Row{
 			Workload:  w.Name(),
 			Group:     w.Group,
 			Behaviour: PredictBehaviour(DeriveLabel(w)),
-			Hill:      hill,
-			PhaseHill: endScore(metrics.WeightedIPC, ipc, singles),
-			Phases:    ph.Phases(),
+			Hill:      endScore(metrics.WeightedIPC, hills[hillKey(cfg, w, metrics.WeightedIPC)], singles),
+			PhaseHill: endScore(metrics.WeightedIPC, ph.IPC, singles),
+			Phases:    ph.Phases,
 			Jumps:     ph.Jumps,
 		})
 	}

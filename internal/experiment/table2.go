@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"sort"
 
 	"smthill/internal/resource"
+	"smthill/internal/sweep"
 	"smthill/internal/workload"
 )
 
@@ -52,27 +55,50 @@ func rscSweep(app workload.App, cycles int, frac float64) (full float64, rsc int
 	return full, rsc
 }
 
-// Table2 measures every catalog application. Rows are sorted by name.
+// table2Key identifies one application's characterisation run; both the
+// solo machine and the requirement sweep are sized by SoloCycles.
+func table2Key(cfg Config, app string) string {
+	return fmt.Sprintf("v%d|table2|app=%s|sc=%d", resultsVersion, app, cfg.SoloCycles)
+}
+
+// table2Job characterises one application: a stand-alone run for the
+// miss/mispredict rates plus the shrinking-allocation requirement sweep.
+func table2Job(cfg Config, name string) sweep.Job[Table2Row] {
+	return sweep.Job[Table2Row]{
+		Key: table2Key(cfg, name),
+		Run: func(context.Context) (Table2Row, error) {
+			app := workload.Get(name)
+			w := workload.Workload{Apps: []string{name}}
+			m := w.NewMachine(nil)
+			m.CycleN(cfg.SoloCycles)
+			full, rsc := rscSweep(app, cfg.SoloCycles/2, 0.95)
+			return Table2Row{
+				App:            name,
+				Type:           app.Type.String(),
+				FP:             app.FP,
+				Freq:           app.Profile.Kind.String(),
+				SoloIPC:        full,
+				Rsc:            rsc,
+				MispredictRate: m.MispredictRate(),
+				DL1Miss:        m.Mem().DL1.Stats.MissRate(),
+				L2Miss:         m.Mem().UL2.Stats.MissRate(),
+			}, nil
+		},
+	}
+}
+
+// Table2 measures every catalog application through the sweep engine.
+// Rows are sorted by name.
 func Table2(cfg Config) []Table2Row {
 	names := workload.Names()
+	jobs := make([]sweep.Job[Table2Row], 0, len(names))
+	for _, name := range names {
+		jobs = append(jobs, table2Job(cfg, name))
+	}
+	runs := mustRun(jobs)
 	rows := make([]Table2Row, 0, len(names))
 	for _, name := range names {
-		app := workload.Get(name)
-		w := workload.Workload{Apps: []string{name}}
-		m := w.NewMachine(nil)
-		m.CycleN(cfg.SoloCycles)
-		full, rsc := rscSweep(app, cfg.SoloCycles/2, 0.95)
-		rows = append(rows, Table2Row{
-			App:            name,
-			Type:           app.Type.String(),
-			FP:             app.FP,
-			Freq:           app.Profile.Kind.String(),
-			SoloIPC:        full,
-			Rsc:            rsc,
-			MispredictRate: m.MispredictRate(),
-			DL1Miss:        m.Mem().DL1.Stats.MissRate(),
-			L2Miss:         m.Mem().UL2.Stats.MissRate(),
-		})
+		rows = append(rows, runs[table2Key(cfg, name)])
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].App < rows[j].App })
 	return rows

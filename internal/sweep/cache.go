@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion tags every cache file. Bump it when the on-disk entry
+// format changes; entries written under another version are treated as
+// misses. (Changes to what a job computes are versioned separately, in
+// the job keys themselves — see internal/experiment's resultsVersion.)
+const SchemaVersion = 1
+
+// Cache is an on-disk, content-addressed result store. Each entry is one
+// JSON file named by the SHA-256 of the schema version and job key, laid
+// out in 256 fan-out directories to keep listings manageable. Writes are
+// atomic (temp file + rename), so concurrent processes sharing a cache
+// directory at worst redundantly compute and then write identical
+// entries.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the cache file format. Key is stored verbatim so entries are
+// debuggable with a text editor and so Get can reject the (cosmically
+// unlikely) hash collision as well as any stale addressing scheme.
+type entry struct {
+	Schema int             `json:"schema"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// path returns the content address of key.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("sweep-schema-%d|%s", SchemaVersion, key)))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, name[:2], name+".json")
+}
+
+// Get returns the stored raw JSON result for key, or ok=false on any
+// miss: absent file, unreadable or corrupt entry, schema mismatch, or
+// key mismatch. A corrupt entry is simply recomputed by the engine.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if json.Unmarshal(b, &e) != nil || e.Schema != SchemaVersion || e.Key != key {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put stores the raw JSON result for key atomically.
+func (c *Cache) Put(key string, result json.RawMessage) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(entry{Schema: SchemaVersion, Key: key, Result: result})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

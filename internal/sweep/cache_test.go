@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := json.RawMessage(`[1.5,0.3333333333333333]`)
+	if err := c.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok || string(got) != string(want) {
+		t.Fatalf("got %s ok=%v", got, ok)
+	}
+	// Distinct keys address distinct files.
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 aliased k1")
+	}
+}
+
+func TestCacheFloatExactness(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Awkward values must survive the JSON round-trip bit-exactly — the
+	// engine's byte-identical-output guarantee depends on it.
+	vals := []float64{1.0 / 3.0, 0.1, 2.0 / 7.0, 1e-17, 123456.789012345678}
+	raw, err := json.Marshal(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("floats", raw); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("floats")
+	if !ok {
+		t.Fatal("miss")
+	}
+	var back []float64
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if back[i] != v {
+			t.Fatalf("value %d changed: %v -> %v", i, v, back[i])
+		}
+	}
+}
+
+// corruptOnly rewrites every cache file under dir with the given bytes.
+func corruptAll(t *testing.T, dir string, content []byte) int {
+	t.Helper()
+	n := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+			return os.WriteFile(path, content, 0o644)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCacheRejectsCorruptAndMismatchedEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt JSON -> miss.
+	if n := corruptAll(t, dir, []byte("{not json")); n != 1 {
+		t.Fatalf("%d files", n)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+
+	// Wrong schema version -> miss.
+	bad, _ := json.Marshal(entry{Schema: SchemaVersion + 1, Key: "k", Result: json.RawMessage(`1`)})
+	corruptAll(t, dir, bad)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("wrong-schema entry served")
+	}
+
+	// Wrong key (as after a collision or addressing change) -> miss.
+	bad, _ = json.Marshal(entry{Schema: SchemaVersion, Key: "other", Result: json.RawMessage(`1`)})
+	corruptAll(t, dir, bad)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("wrong-key entry served")
+	}
+}
+
+func TestEngineRecomputesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale entry whose payload no longer unmarshals as the job's
+	// result type must be recomputed, not served.
+	if err := c.Put("job", json.RawMessage(`"not a number"`)); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(1)
+	e.SetCache(c)
+	ran := false
+	res, err := Run(context.Background(), e, []Job[float64]{{
+		Key: "job",
+		Run: func(context.Context) (float64, error) { ran = true; return 4.5, nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || res["job"] != 4.5 {
+		t.Fatalf("ran=%v res=%v", ran, res)
+	}
+	// The recomputation overwrote the stale entry.
+	got, ok := c.Get("job")
+	if !ok || string(got) != "4.5" {
+		t.Fatalf("cache after recompute: %s ok=%v", got, ok)
+	}
+}

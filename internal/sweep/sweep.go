@@ -1,0 +1,302 @@
+// Package sweep runs batches of independent, deterministic simulation
+// jobs on a worker pool, with optional content-addressed disk caching of
+// results.
+//
+// The experiment suite (internal/experiment) is a schedulable sweep:
+// every figure and table decomposes into dozens of fully independent
+// cycle-level simulations, each owning its own pipeline.Machine and
+// seeded rng state. The engine exploits that independence three ways:
+//
+//   - parallelism: jobs run on a bounded worker pool (default
+//     runtime.GOMAXPROCS(0)) with per-job panic recovery and
+//     context.Context cancellation;
+//   - in-process memoisation: a job key identifies its result uniquely,
+//     so shared sub-results (the stand-alone Singles runs, baseline runs
+//     reused by several figures) are computed once per process;
+//   - on-disk caching: an optional Cache persists results across
+//     invocations, content-addressed by a hash of the job key and a
+//     schema-version constant.
+//
+// Determinism contract: a Job's Run must be a pure function of its Key —
+// two jobs with equal keys must produce identical results regardless of
+// execution order, worker count, or which process computes them. Under
+// that contract the engine guarantees byte-identical experiment output
+// whether jobs run serially, in parallel, or out of a cache: results are
+// returned keyed by job key and callers assemble output in their own
+// deterministic order. Cached results round-trip through JSON, which is
+// exact for float64 (encoding/json emits the shortest representation
+// that round-trips) and for integer and string fields.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of simulation work producing a result of
+// type R. Key must uniquely determine the result (see the package
+// determinism contract): it should encode the workload, technique, and
+// every configuration field the run depends on. R must marshal to JSON
+// losslessly for memoisation and disk caching to preserve byte-identical
+// output.
+type Job[R any] struct {
+	// Key is the stable identity of the job, used for deduplication,
+	// memoisation, and cache addressing.
+	Key string
+	// Run computes the result. It must not depend on shared mutable
+	// state; ctx is cancelled when the batch is aborted.
+	Run func(ctx context.Context) (R, error)
+}
+
+// Engine executes job batches. The zero value is not usable; construct
+// with NewEngine. Configure (SetCache, SetObserver) before the first Run
+// call; an Engine may then be shared by concurrent Run calls and reused
+// across batches, accumulating its in-process memo.
+type Engine struct {
+	workers int
+	cache   *Cache
+	onEvent func(Event)
+
+	mu   sync.Mutex
+	memo map[string][]byte // job key -> JSON result
+
+	// eventMu serialises observer callbacks engine-wide, so an observer
+	// needs no locking even when Run calls overlap.
+	eventMu sync.Mutex
+}
+
+// NewEngine returns an engine running at most workers jobs concurrently;
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewEngine(workers int) *Engine {
+	return &Engine{workers: workers, memo: map[string][]byte{}}
+}
+
+// Workers returns the effective worker-pool size.
+func (e *Engine) Workers() int {
+	if e.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.workers
+}
+
+// SetCache attaches an on-disk result cache (nil detaches it).
+func (e *Engine) SetCache(c *Cache) { e.cache = c }
+
+// SetObserver installs a progress hook invoked for every job state
+// change. Events are delivered serially (never concurrently), but from
+// worker goroutines.
+func (e *Engine) SetObserver(fn func(Event)) { e.onEvent = fn }
+
+// lookup consults the in-process memo, then the disk cache. A disk hit
+// is promoted into the memo.
+func (e *Engine) lookup(key string) ([]byte, Source, bool) {
+	e.mu.Lock()
+	raw, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok {
+		return raw, FromMemo, true
+	}
+	if e.cache != nil {
+		if raw, ok := e.cache.Get(key); ok {
+			e.remember(key, raw)
+			return raw, FromCache, true
+		}
+	}
+	return nil, FromRun, false
+}
+
+func (e *Engine) remember(key string, raw []byte) {
+	e.mu.Lock()
+	e.memo[key] = raw
+	e.mu.Unlock()
+}
+
+// store records a freshly computed result in the memo and, best-effort,
+// the disk cache. Marshal failures (e.g. NaN scores) skip caching: the
+// caller still gets the in-memory value, only reuse is lost.
+func (e *Engine) store(key string, val any) {
+	raw, err := json.Marshal(val)
+	if err != nil {
+		return
+	}
+	e.remember(key, raw)
+	if e.cache != nil {
+		_ = e.cache.Put(key, raw) // cache write failure is not a job failure
+	}
+}
+
+// batch tracks the counters reported in Events for one Run call. mu is
+// the owning engine's eventMu, shared across batches.
+type batch struct {
+	mu        *sync.Mutex
+	emit      func(Event)
+	total     int
+	running   int
+	done      int
+	cacheHits int
+}
+
+func (b *batch) event(kind EventKind, key string, src Source, dur time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch kind {
+	case JobStarted:
+		b.running++
+	case JobDone:
+		b.done++
+		if src == FromRun {
+			b.running--
+		} else {
+			b.cacheHits++
+		}
+	}
+	if b.emit == nil {
+		return
+	}
+	b.emit(Event{
+		Kind: kind, Key: key, Source: src, Duration: dur,
+		Queued: b.total - b.done - b.running, Running: b.running,
+		Done: b.done, Total: b.total, CacheHits: b.cacheHits,
+	})
+}
+
+// Run executes the batch on e's worker pool and returns the results
+// keyed by job key. Jobs sharing a key are computed once (the first
+// occurrence wins). On the first job error — including a recovered
+// panic — the remaining jobs are cancelled and the error of the
+// earliest-submitted failing job is returned, so the failure surfaced is
+// deterministic.
+func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, error) {
+	if e == nil {
+		e = NewEngine(0)
+	}
+	uniq := make([]Job[R], 0, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" {
+			return nil, fmt.Errorf("sweep: job with empty key")
+		}
+		if !seen[j.Key] {
+			seen[j.Key] = true
+			uniq = append(uniq, j)
+		}
+	}
+
+	st := &batch{mu: &e.eventMu, emit: e.onEvent, total: len(uniq)}
+	results := make(map[string]R, len(uniq))
+
+	// Resolve memo and cache hits up front so workers only see jobs that
+	// must execute. A hit that fails to unmarshal (stale or corrupt
+	// entry) falls through to recomputation.
+	var pending []Job[R]
+	for _, j := range uniq {
+		st.event(JobQueued, j.Key, FromRun, 0)
+		if raw, src, ok := e.lookup(j.Key); ok {
+			var r R
+			if err := json.Unmarshal(raw, &r); err == nil {
+				results[j.Key] = r
+				st.event(JobDone, j.Key, src, 0)
+				continue
+			}
+		}
+		pending = append(pending, j)
+	}
+	if len(pending) == 0 {
+		return results, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type indexed struct {
+		idx int
+		job Job[R]
+	}
+	type outcome struct {
+		idx int
+		key string
+		val R
+		err error
+	}
+	in := make(chan indexed)
+	out := make(chan outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < min(e.Workers(), len(pending)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ij := range in {
+				if err := ctx.Err(); err != nil {
+					out <- outcome{idx: ij.idx, key: ij.job.Key, err: err}
+					continue
+				}
+				st.event(JobStarted, ij.job.Key, FromRun, 0)
+				start := time.Now()
+				val, err := runSafe(ctx, ij.job)
+				if err == nil {
+					e.store(ij.job.Key, val)
+				}
+				st.event(JobDone, ij.job.Key, FromRun, time.Since(start))
+				out <- outcome{idx: ij.idx, key: ij.job.Key, val: val, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(in)
+		for i, j := range pending {
+			select {
+			case in <- indexed{i, j}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Report the earliest-submitted genuine failure. Once a job fails,
+	// the remaining jobs drain with context.Canceled; those must not
+	// mask the root cause.
+	firstErrIdx := -1
+	var firstErr, cancelErr error
+	for oc := range out {
+		if oc.err != nil {
+			if errors.Is(oc.err, context.Canceled) || errors.Is(oc.err, context.DeadlineExceeded) {
+				cancelErr = oc.err
+			} else if firstErrIdx < 0 || oc.idx < firstErrIdx {
+				firstErrIdx, firstErr = oc.idx, oc.err
+			}
+			cancel()
+			continue
+		}
+		results[oc.key] = oc.val
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	return results, ctx.Err()
+}
+
+// runSafe invokes the job, converting a panic into an error carrying the
+// job key and stack so one diverging simulation cannot take down the
+// whole sweep.
+func runSafe[R any](ctx context.Context, j Job[R]) (val R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweep: job %s panicked: %v\n%s", j.Key, p, debug.Stack())
+		}
+	}()
+	return j.Run(ctx)
+}
