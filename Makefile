@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race
+.PHONY: ci vet build test race benchsmoke profile
 
-# ci is the gate: vet, build everything, then the full test suite under
-# the race detector (internal/sweep's pool tests are the concurrency
-# canary — see TestWorkerPoolConcurrency).
-ci: vet build race
+# ci is the gate: vet, build everything, the full test suite under the
+# race detector (internal/sweep's pool tests are the concurrency canary —
+# see TestWorkerPoolConcurrency), then one iteration of the telemetry
+# overhead benchmarks so a hot-loop regression fails loudly.
+ci: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -18,3 +19,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# benchsmoke runs the machine-speed benchmarks once — not a timing gate,
+# just proof they still compile and complete.
+benchsmoke:
+	$(GO) test -run '^$$' -bench BenchmarkMachine -benchtime 1x .
+
+# profile regenerates fig4 under the CPU profiler and prints the ten
+# hottest functions. The profile is left in bin/cpu.pprof for
+# `go tool pprof -http` exploration. Override PROFILE_FLAGS (e.g. with
+# `PROFILE_FLAGS=` for the full default scale) to change the sample.
+PROFILE_FLAGS ?= -epochs 12 -workloads art-mcf,art-gzip,gzip-bzip2
+profile:
+	mkdir -p bin
+	$(GO) build -o bin/experiments ./cmd/experiments
+	./bin/experiments $(PROFILE_FLAGS) -cpuprofile bin/cpu.pprof fig4 > /dev/null
+	$(GO) tool pprof -top -nodecount=10 bin/experiments bin/cpu.pprof

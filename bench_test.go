@@ -16,6 +16,7 @@ import (
 	"smthill/internal/experiment"
 	"smthill/internal/isa"
 	"smthill/internal/metrics"
+	"smthill/internal/telemetry"
 	"smthill/internal/trace"
 	"smthill/internal/workload"
 )
@@ -329,6 +330,32 @@ func BenchmarkAblationProportional(b *testing.B) {
 func BenchmarkSimulatorSpeed(b *testing.B) {
 	w := workload.ByName("art-gzip")
 	m := w.NewMachine(nil)
+	b.ResetTimer()
+	m.CycleN(b.N)
+}
+
+// BenchmarkMachineTelemetryOff is the telemetry overhead guard-rail: the
+// identical setup to BenchmarkSimulatorSpeed with no recorder attached.
+// The instrumentation contract (internal/telemetry package doc) is that a
+// nil recorder costs the cycle loop one predictable branch, so this
+// benchmark's ns/op must stay within 2% of BenchmarkSimulatorSpeed's
+// pre-telemetry baseline. `make ci` runs it as a smoke test; compare
+// against BenchmarkSimulatorSpeed (same machine, same workload) when
+// touching the hot loop.
+func BenchmarkMachineTelemetryOff(b *testing.B) {
+	w := workload.ByName("art-gzip")
+	m := w.NewMachine(nil)
+	b.ResetTimer()
+	m.CycleN(b.N)
+}
+
+// BenchmarkMachineTelemetryOn measures the same loop with a recorder
+// attached — the full price of stall attribution and occupancy
+// histograms when tracing is requested.
+func BenchmarkMachineTelemetryOn(b *testing.B) {
+	w := workload.ByName("art-gzip")
+	m := w.NewMachine(nil)
+	m.SetRecorder(telemetry.NewRecorder(m.Threads()))
 	b.ResetTimer()
 	m.CycleN(b.N)
 }

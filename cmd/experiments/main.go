@@ -30,6 +30,7 @@ import (
 	"smthill/internal/pipeline"
 	"smthill/internal/resource"
 	"smthill/internal/sweep"
+	"smthill/internal/telemetry"
 	"smthill/internal/workload"
 )
 
@@ -48,20 +49,50 @@ type options struct {
 
 func main() {
 	var (
-		epochs    = flag.Int("epochs", 0, "measured epochs per run (0 = config default)")
-		stride    = flag.Int("stride", 0, "exhaustive-search stride in rename registers (0 = config default)")
-		paper     = flag.Bool("paper", false, "use the paper-scale configuration (slow)")
-		loadsFlag = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
-		wl        = flag.String("fig12-workload", "mcf-eon", "workload for fig12")
-		jobs      = flag.Int("j", 0, "max parallel simulations (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cache-dir", "", "on-disk result cache directory (empty = no cache)")
-		progress  = flag.Bool("progress", false, "report per-simulation progress on stderr")
-		jsonRows  = flag.Bool("json", false, "emit JSON lines instead of tables for fig4/fig9/fig11")
+		epochs     = flag.Int("epochs", 0, "measured epochs per run (0 = config default)")
+		stride     = flag.Int("stride", 0, "exhaustive-search stride in rename registers (0 = config default)")
+		paper      = flag.Bool("paper", false, "use the paper-scale configuration (slow)")
+		loadsFlag  = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
+		wl         = flag.String("fig12-workload", "mcf-eon", "workload for fig12")
+		jobs       = flag.Int("j", 0, "max parallel simulations (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = no cache)")
+		progress   = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		jsonRows   = flag.Bool("json", false, "emit JSON lines instead of tables for fig4/fig9/fig11")
+		trace      = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	cfg := experiment.Default()
@@ -84,14 +115,46 @@ func main() {
 		}
 		eng.SetCache(c)
 	}
+	var observers []func(sweep.Event)
 	if *progress {
-		eng.SetObserver(sweep.NewReporter(os.Stderr).Observe)
+		observers = append(observers, sweep.NewReporter(os.Stderr).Observe)
+	}
+
+	var meter *sweep.Meter
+	var closeSink func() error
+	if *trace != "" {
+		sink, closer, err := telemetry.OpenSink(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		closeSink = closer
+		experiment.SetTelemetry(sink)
+		meter = sweep.NewMeter(sink, eng.Workers())
+		observers = append(observers, meter.Observe)
+	}
+	if len(observers) > 0 {
+		eng.SetObserver(func(ev sweep.Event) {
+			for _, o := range observers {
+				o(ev)
+			}
+		})
 	}
 	experiment.SetEngine(eng)
 
 	opts := options{subset: *loadsFlag, fig12wl: *wl, jsonRows: *jsonRows}
 	for _, name := range flag.Args() {
 		run(cfg, name, opts)
+	}
+
+	if meter != nil {
+		meter.Summarize()
+	}
+	if closeSink != nil {
+		if err := closeSink(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	smtsim -workload art-mcf -tech HILL-WIPC -epochs 50
+//	smtsim -workload art-mcf -trace trace.jsonl -cpuprofile cpu.out
 //
 // Techniques: ICOUNT, STALL, FLUSH, DCRA, STATIC, HILL-IPC, HILL-WIPC,
 // HILL-HWIPC, HILL-PHASE.
@@ -21,34 +22,96 @@ import (
 	"smthill/internal/pipeline"
 	"smthill/internal/policy"
 	"smthill/internal/resource"
+	"smthill/internal/telemetry"
 	"smthill/internal/workload"
 )
 
 func main() {
 	var (
-		wlName    = flag.String("workload", "art-mcf", "workload name from Table 3 (e.g. art-mcf), or comma-separated app names")
-		tech      = flag.String("tech", "HILL-WIPC", "distribution technique")
-		epochs    = flag.Int("epochs", 50, "epochs to simulate")
-		epochSize = flag.Int("epoch-size", core.DefaultEpochSize, "epoch length in cycles")
-		warmup    = flag.Int("warmup", 2, "warmup epochs before measurement")
-		delta     = flag.Int("delta", core.DefaultDelta, "hill-climbing step in rename registers")
+		wlName     = flag.String("workload", "art-mcf", "workload name from Table 3 (e.g. art-mcf), or comma-separated app names")
+		tech       = flag.String("tech", "HILL-WIPC", "distribution technique")
+		epochs     = flag.Int("epochs", 50, "epochs to simulate")
+		epochSize  = flag.Int("epoch-size", core.DefaultEpochSize, "epoch length in cycles")
+		warmup     = flag.Int("warmup", 2, "warmup epochs before measurement")
+		delta      = flag.Int("delta", core.DefaultDelta, "hill-climbing step in rename registers")
+		trace      = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	w := lookupWorkload(*wlName)
 	m, dist, feedback := build(w, *tech, *delta)
 
+	var sink telemetry.Sink
+	if *trace != "" {
+		s, closer, err := telemetry.OpenSink(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := closer(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		sink = s
+		m.SetRecorder(telemetry.NewRecorder(m.Threads()))
+	}
+
+	label := w.Name() + "/" + dist.Name()
+	switch d := dist.(type) {
+	case *core.HillClimber:
+		d.Trace = sink
+		d.TraceLabel = label
+	case *core.PhaseHill:
+		d.Hill.Trace = sink
+		d.Hill.TraceLabel = label
+	}
+
 	m.CycleN(*warmup * *epochSize)
 	r := core.NewRunner(m, dist, feedback)
 	r.EpochSize = *epochSize
+	r.Trace = sink
+	r.TraceLabel = label
 	r.Run(*epochs)
 
 	ipc := r.TotalsSince(0)
 	fmt.Printf("workload %s under %s: %d epochs of %d cycles\n",
 		w.Name(), dist.Name(), *epochs, *epochSize)
 	total := 0.0
+	per := m.PerThreadStats()
 	for th, v := range ipc {
-		fmt.Printf("  thread %d (%-8s): IPC %6.3f\n", th, w.Apps[th], v)
+		ts := per[th]
+		fmt.Printf("  thread %d (%-8s): IPC %6.3f | committed %9d | flushed %8d | mispredicts %7d\n",
+			th, w.Apps[th], v, ts.Committed, ts.Flushed, ts.Mispredicts)
 		total += v
 	}
 	s := m.Stats()

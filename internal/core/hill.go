@@ -3,6 +3,7 @@ package core
 import (
 	"smthill/internal/metrics"
 	"smthill/internal/resource"
+	"smthill/internal/telemetry"
 )
 
 // DefaultDelta is the hill-climbing step size in integer rename registers
@@ -29,6 +30,14 @@ type HillClimber struct {
 	// Overhead is the per-invocation stall cost; DefaultOverhead if
 	// negative.
 	Overhead int
+	// Trace, when non-nil, receives move events: the gradient direction
+	// tried each learning epoch, and each round's accepted/reverted
+	// decisions. Replaying only the accepted moves from the equal-shares
+	// start reconstructs the anchor exactly (pinned by
+	// TestMoveEventsReconstructAnchor).
+	Trace telemetry.Sink
+	// TraceLabel labels emitted events.
+	TraceLabel string
 
 	threads int
 	total   int
@@ -90,8 +99,48 @@ func (h *HillClimber) Decide(prev *EpochResult) resource.Shares {
 				}
 			}
 			h.anchor = h.anchor.Shift(best, h.Delta)
+			h.emitRound(best)
 		}
 		h.epochID++
 	}
-	return h.anchor.Shift(h.epochID%h.threads, h.Delta)
+	trial := h.anchor.Shift(h.epochID%h.threads, h.Delta)
+	if h.Trace != nil {
+		h.Trace.Emit(telemetry.Event{
+			Type:   telemetry.TypeMove,
+			Run:    h.TraceLabel,
+			Epoch:  h.epochID,
+			Kind:   telemetry.KindTried,
+			Thread: h.epochID % h.threads,
+			Delta:  h.Delta,
+			Shares: trial,
+		})
+	}
+	return trial
+}
+
+// emitRound reports a completed round: every direction's score, the
+// winner as accepted (with the anchor it produced), the rest as
+// reverted.
+func (h *HillClimber) emitRound(best int) {
+	if h.Trace == nil {
+		return
+	}
+	for i, score := range h.perf {
+		kind := telemetry.KindReverted
+		var shares []int
+		if i == best {
+			kind = telemetry.KindAccepted
+			shares = h.anchor.Clone()
+		}
+		h.Trace.Emit(telemetry.Event{
+			Type:   telemetry.TypeMove,
+			Run:    h.TraceLabel,
+			Epoch:  h.epochID,
+			Kind:   kind,
+			Thread: i,
+			Delta:  h.Delta,
+			Shares: shares,
+			Score:  score,
+		})
+	}
 }

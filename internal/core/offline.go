@@ -5,6 +5,7 @@ import (
 	"smthill/internal/pipeline"
 	"smthill/internal/resource"
 	"smthill/internal/rng"
+	"smthill/internal/telemetry"
 )
 
 // EnumerateShares calls f with every division of total rename registers
@@ -68,6 +69,13 @@ type OffLine struct {
 	// Stride is the enumeration step in rename registers (the paper
 	// uses 2; larger strides trade fidelity for simulation time).
 	Stride int
+	// Trace, when non-nil, receives one epoch event per epoch carrying
+	// the winning partition vector and the winning trial's
+	// stall-attribution counts (each trial clone gets a fresh recorder;
+	// only the winner's — the execution actually kept — is reported).
+	Trace telemetry.Sink
+	// TraceLabel labels emitted events.
+	TraceLabel string
 
 	epoch      int
 	lastCommit []uint64
@@ -110,6 +118,31 @@ func commitCounts(m *pipeline.Machine) []uint64 {
 	return out
 }
 
+// emitIdealEpoch reports one checkpoint-search epoch to a trace sink.
+// The machine is the adopted winner; its fresh per-epoch recorder (if
+// any) holds exactly this epoch's stall attribution.
+func emitIdealEpoch(sink telemetry.Sink, label string, m *pipeline.Machine, res *EpochResult) {
+	if sink == nil {
+		return
+	}
+	var stalls map[string]uint64
+	if rec := m.Recorder(); rec != nil {
+		stalls = telemetry.Sub(rec.Totals(), nil)
+	}
+	sink.Emit(telemetry.Event{
+		Type:      telemetry.TypeEpoch,
+		Run:       label,
+		Epoch:     res.Index,
+		Kind:      telemetry.KindLearning,
+		Thread:    telemetry.None,
+		Shares:    res.Shares,
+		IPC:       res.IPC,
+		Committed: res.Committed,
+		Score:     res.Score,
+		Stalls:    stalls,
+	})
+}
+
 // RunEpoch checkpoints the machine, tries every candidate partitioning
 // for one epoch, advances along the best, and returns the epoch record.
 func (o *OffLine) RunEpoch() OffLineEpoch {
@@ -121,6 +154,11 @@ func (o *OffLine) RunEpoch() OffLineEpoch {
 	var trials []Trial
 	EnumerateShares(o.M.Threads(), total, o.Stride, func(s resource.Shares) {
 		trial := o.M.Clone()
+		if o.Trace != nil {
+			// Fresh per-trial recorder: the adopted winner's counters are
+			// exactly this epoch's stall attribution.
+			trial.SetRecorder(telemetry.NewRecorder(trial.Threads()))
+		}
 		trial.Resources().SetShares(s)
 		trial.CycleN(o.EpochSize)
 		_, ipc := measureEpoch(trial, base, o.EpochSize)
@@ -149,6 +187,7 @@ func (o *OffLine) RunEpoch() OffLineEpoch {
 	}
 	o.epoch++
 	o.epochs = append(o.epochs, res)
+	emitIdealEpoch(o.Trace, o.TraceLabel, o.M, &res.EpochResult)
 	return res
 }
 
@@ -177,6 +216,9 @@ type RandHill struct {
 	MaxIters int
 	// Seed makes the random restarts deterministic.
 	Seed uint64
+	// Trace and TraceLabel mirror OffLine's epoch-event reporting.
+	Trace      telemetry.Sink
+	TraceLabel string
 
 	rng        rng.Rng
 	seeded     bool
@@ -241,6 +283,9 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 
 	eval := func(s resource.Shares) Trial {
 		trial := r.M.Clone()
+		if r.Trace != nil {
+			trial.SetRecorder(telemetry.NewRecorder(trial.Threads()))
+		}
 		trial.Resources().SetShares(s)
 		trial.CycleN(r.EpochSize)
 		_, ipc := measureEpoch(trial, base, r.EpochSize)
@@ -297,6 +342,7 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 	}
 	r.epoch++
 	r.epochs = append(r.epochs, res)
+	emitIdealEpoch(r.Trace, r.TraceLabel, r.M, &res.EpochResult)
 	return res
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"smthill/internal/metrics"
 	"smthill/internal/pipeline"
+	"smthill/internal/telemetry"
 )
 
 // DefaultEpochSize is the epoch length in cycles the paper settles on
@@ -38,6 +39,14 @@ type Runner struct {
 	// only, leaving the IQ and ROB fully shared — the ablation of the
 	// paper's proportional-partitioning rule (Section 3.1.2).
 	RenameOnly bool
+	// Trace, when non-nil, receives one telemetry epoch event per
+	// completed epoch: partition vector, per-thread IPC, metric score,
+	// sampling markers, and — when the machine has a telemetry recorder
+	// attached — the epoch's stall-attribution deltas.
+	Trace telemetry.Sink
+	// TraceLabel labels this run's events (typically
+	// "workload/technique"), so interleaved traces stay attributable.
+	TraceLabel string
 
 	epoch      int
 	sampleNext int
@@ -45,6 +54,7 @@ type Runner struct {
 	lastCommit []uint64
 	prev       *EpochResult
 	results    []EpochResult
+	prevStalls map[string]uint64
 }
 
 // NewRunner returns a Runner with the paper's default epoch size and
@@ -84,7 +94,48 @@ func (r *Runner) ensure() {
 		for th := 0; th < t; th++ {
 			r.lastCommit[th] = r.M.Committed(th)
 		}
+		// Baseline the stall counters so the first epoch's delta excludes
+		// warmup cycles run before the first RunEpoch.
+		if rec := r.M.Recorder(); rec != nil && r.Trace != nil {
+			r.prevStalls = rec.Totals()
+		}
 	}
+}
+
+// stallDelta returns the stall-attribution counts accumulated since the
+// previous epoch boundary (nil when the machine has no recorder).
+func (r *Runner) stallDelta() map[string]uint64 {
+	rec := r.M.Recorder()
+	if rec == nil {
+		return nil
+	}
+	cur := rec.Totals()
+	d := telemetry.Sub(cur, r.prevStalls)
+	r.prevStalls = cur
+	return d
+}
+
+// emitEpoch sends res to the trace sink as a telemetry epoch event.
+func (r *Runner) emitEpoch(res *EpochResult) {
+	if r.Trace == nil {
+		return
+	}
+	kind, thread := telemetry.KindLearning, telemetry.None
+	if res.Sample {
+		kind, thread = telemetry.KindSample, res.SampledThread
+	}
+	r.Trace.Emit(telemetry.Event{
+		Type:      telemetry.TypeEpoch,
+		Run:       r.TraceLabel,
+		Epoch:     res.Index,
+		Kind:      kind,
+		Thread:    thread,
+		Shares:    res.Shares,
+		IPC:       res.IPC,
+		Committed: res.Committed,
+		Score:     res.Score,
+		Stalls:    r.stallDelta(),
+	})
 }
 
 // needsSample reports whether the upcoming epoch should be a SingleIPC
@@ -175,6 +226,7 @@ func (r *Runner) runLearningEpoch() EpochResult {
 	r.epoch++
 	r.prev = &res
 	r.results = append(r.results, res)
+	r.emitEpoch(&res)
 	return res
 }
 
@@ -206,6 +258,7 @@ func (r *Runner) runSampleEpoch(th int) EpochResult {
 	// Sampling epochs do not feed the distributor: r.prev is unchanged.
 	r.sampleNext++
 	r.results = append(r.results, res)
+	r.emitEpoch(&res)
 	return res
 }
 

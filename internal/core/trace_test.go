@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smthill/internal/metrics"
+	"smthill/internal/resource"
+	"smthill/internal/telemetry"
+	"smthill/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sharesEqual(a resource.Shares, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenRun is the fixed scenario behind the schema golden file: a small
+// deterministic HILL-WIPC run with a recorder attached, covering epoch
+// (learning and sample), and move (tried/accepted/reverted) events.
+func goldenRun(sink telemetry.Sink) *HillClimber {
+	m := machineFor([]trace.Profile{ilpProfile(1), mlpProfile(2)}, nil)
+	m.SetRecorder(telemetry.NewRecorder(2))
+	hill := NewHillClimber(2, m.Resources().Sizes()[resource.IntRename], metrics.WeightedIPC)
+	hill.Trace = sink
+	hill.TraceLabel = "golden/HILL-WIPC"
+	r := NewRunner(m, hill, metrics.WeightedIPC)
+	r.EpochSize = testEpoch
+	r.Trace = sink
+	r.TraceLabel = "golden/HILL-WIPC"
+	r.Run(8)
+	return hill
+}
+
+// TestEpochTraceGolden pins the JSONL event schema byte-for-byte. The
+// simulator and the JSON encoding are both deterministic, so any diff
+// here is a schema or semantics change: regenerate with -update and
+// justify the diff in review. Extend the schema by adding fields, never
+// by renaming or re-typing existing ones.
+func TestEpochTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONL(&buf)
+	goldenRun(sink)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "epoch_trace.golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/core -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace deviates from %s (re-run with -update if intentional)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestEpochEventsCarryStallsAndShares checks the fig4-style acceptance
+// property on the in-memory stream: learning-epoch events carry a
+// partition vector and stall-attribution totals including the cycle
+// count.
+func TestEpochEventsCarryStallsAndShares(t *testing.T) {
+	var sink telemetry.MemorySink
+	goldenRun(&sink)
+
+	learning, samples, moves := 0, 0, 0
+	for _, ev := range sink.Events() {
+		switch {
+		case ev.Type == telemetry.TypeEpoch && ev.Kind == telemetry.KindLearning:
+			learning++
+			if len(ev.Shares) != 2 {
+				t.Errorf("epoch %d: learning event has shares %v", ev.Epoch, ev.Shares)
+			}
+			if ev.Stalls["cycles"] != testEpoch {
+				t.Errorf("epoch %d: stall delta covers %d cycles, want %d", ev.Epoch, ev.Stalls["cycles"], testEpoch)
+			}
+			if len(ev.IPC) != 2 || ev.Score <= 0 {
+				t.Errorf("epoch %d: ipc=%v score=%g", ev.Epoch, ev.IPC, ev.Score)
+			}
+		case ev.Type == telemetry.TypeEpoch && ev.Kind == telemetry.KindSample:
+			samples++
+			if ev.Thread == telemetry.None {
+				t.Errorf("epoch %d: sample event has no thread", ev.Epoch)
+			}
+		case ev.Type == telemetry.TypeMove:
+			moves++
+		}
+	}
+	// WeightedIPC on 2 threads samples each thread once up front; the
+	// remaining 6 epochs are learning epochs, each preceded by a tried
+	// move.
+	if samples != 2 || learning != 6 {
+		t.Fatalf("got %d sample + %d learning epochs, want 2+6", samples, learning)
+	}
+	if moves == 0 {
+		t.Fatal("no move events emitted")
+	}
+}
+
+// TestMoveEventsReconstructAnchor replays the accepted move events from
+// the equal-shares start and checks they rebuild the climber's final
+// anchor exactly — the property that makes a trace a sufficient record
+// of the learning trajectory.
+func TestMoveEventsReconstructAnchor(t *testing.T) {
+	var sink telemetry.MemorySink
+	m := machineFor([]trace.Profile{ilpProfile(3), mlpProfile(4)}, nil)
+	total := m.Resources().Sizes()[resource.IntRename]
+	hill := NewHillClimber(2, total, metrics.AvgIPC)
+	hill.Trace = &sink
+	hill.TraceLabel = "replay/HILL-IPC"
+	r := NewRunner(m, hill, metrics.AvgIPC)
+	r.EpochSize = testEpoch
+	r.Run(11) // AvgIPC never samples: 11 learning epochs, 5 full rounds
+
+	anchor := resource.EqualShares(2, total)
+	accepted := 0
+	for _, ev := range sink.Events() {
+		if ev.Type != telemetry.TypeMove || ev.Kind != telemetry.KindAccepted {
+			continue
+		}
+		accepted++
+		anchor = anchor.Shift(ev.Thread, ev.Delta)
+		if !sharesEqual(anchor, ev.Shares) {
+			t.Fatalf("accepted move %d: replayed anchor %v, event says %v", accepted, anchor, ev.Shares)
+		}
+	}
+	if accepted != 5 {
+		t.Fatalf("got %d accepted moves, want 5 (one per completed round)", accepted)
+	}
+	if !sharesEqual(hill.Anchor(), []int(anchor)) {
+		t.Fatalf("replayed anchor %v != climber anchor %v", anchor, hill.Anchor())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"smthill/internal/pipeline"
 	"smthill/internal/policy"
 	"smthill/internal/resource"
+	"smthill/internal/telemetry"
 	"smthill/internal/workload"
 )
 
@@ -82,6 +83,28 @@ func Singles(cfg Config, w workload.Workload) []float64 {
 	return singlesFor(soloBatch(cfg, []workload.Workload{w}), w)
 }
 
+// tele receives run-level telemetry (epoch events, hill moves) from the
+// experiment run helpers; nil means tracing is off. cmd/experiments
+// installs a sink via SetTelemetry for its -trace flag. Sinks must be
+// concurrency-safe: jobs run in parallel on the sweep pool. Experiment
+// stdout stays byte-identical with or without a sink — telemetry is a
+// side stream, never an input.
+var tele telemetry.Sink
+
+// SetTelemetry installs the trace sink used by the experiment run
+// helpers (nil disables tracing). Like SetEngine, it is not safe to swap
+// concurrently with a running experiment.
+func SetTelemetry(s telemetry.Sink) { tele = s }
+
+// traceMachine attaches a stall-attribution recorder to m when tracing
+// is on, and returns the run label "<workload>/<technique>".
+func traceMachine(m *pipeline.Machine, w workload.Workload, tech string) string {
+	if tele != nil {
+		m.SetRecorder(telemetry.NewRecorder(m.Threads()))
+	}
+	return w.Name() + "/" + tech
+}
+
 // techniques returns the baseline per-cycle policies of the comparison.
 func baselineNames() []string { return []string{"ICOUNT", "FLUSH", "DCRA"} }
 
@@ -89,10 +112,13 @@ func baselineNames() []string { return []string{"ICOUNT", "FLUSH", "DCRA"} }
 // per-thread IPCs over the measured epochs.
 func runBaseline(cfg Config, w workload.Workload, polName string) []float64 {
 	m := w.NewMachine(policy.ByName(polName))
+	label := traceMachine(m, w, polName)
 	m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
 	r := core.NewRunner(m, core.None{Label: polName}, metrics.WeightedIPC)
 	r.EpochSize = cfg.EpochSize
 	r.SamplePeriod = 0 // baselines do not sample
+	r.Trace = tele
+	r.TraceLabel = label
 	r.Run(cfg.Epochs)
 	return r.TotalsSince(0)
 }
@@ -100,10 +126,15 @@ func runBaseline(cfg Config, w workload.Workload, polName string) []float64 {
 // runHill measures hill-climbing with the given feedback metric on w.
 func runHill(cfg Config, w workload.Workload, feedback metrics.Kind) []float64 {
 	m := w.NewMachine(nil)
+	label := traceMachine(m, w, "HILL-"+feedback.String())
 	m.CycleN(cfg.WarmupEpochs * cfg.EpochSize)
 	hill := core.NewHillClimber(w.Threads(), m.Resources().Sizes()[renameKind], feedback)
+	hill.Trace = tele
+	hill.TraceLabel = label
 	r := core.NewRunner(m, hill, feedback)
 	r.EpochSize = cfg.EpochSize
+	r.Trace = tele
+	r.TraceLabel = label
 	r.Run(cfg.Epochs)
 	return r.TotalsSince(0)
 }

@@ -34,6 +34,8 @@ func runOffLine(cfg Config, w workload.Workload, singles []float64) []float64 {
 	o := core.NewOffLine(m, metrics.WeightedIPC, singles)
 	o.EpochSize = cfg.EpochSize
 	o.Stride = cfg.OffLineStride
+	o.Trace = tele
+	o.TraceLabel = w.Name() + "/OFF-LINE"
 	epochs := o.Run(cfg.Epochs)
 	return aggregateIPC(epochs, w.Threads(), cfg.EpochSize)
 }
@@ -45,6 +47,8 @@ func runRandHill(cfg Config, w workload.Workload, singles []float64) []float64 {
 	r := core.NewRandHill(m, metrics.WeightedIPC, singles)
 	r.EpochSize = cfg.EpochSize
 	r.MaxIters = cfg.RandHillIters
+	r.Trace = tele
+	r.TraceLabel = w.Name() + "/RAND-HILL"
 	epochs := r.Run(cfg.Epochs)
 	return aggregateIPC(epochs, w.Threads(), cfg.EpochSize)
 }

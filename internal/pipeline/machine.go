@@ -25,6 +25,7 @@ import (
 	"smthill/internal/cache"
 	"smthill/internal/isa"
 	"smthill/internal/resource"
+	"smthill/internal/telemetry"
 )
 
 // ref identifies an in-flight instruction slot; gen detects slot reuse, so
@@ -100,6 +101,10 @@ type threadState struct {
 	// mispredictPending stops fetch after a mispredicted branch until it
 	// resolves.
 	mispredictPending bool
+	// fetchStallICache records whether fetchStall was last armed by an
+	// instruction-cache miss (vs a mispredict redirect), so telemetry can
+	// attribute the stalled cycles to the right cause.
+	fetchStallICache bool
 	// lastFetchBlock is the instruction-cache block of the last fetched
 	// instruction, for charging I-cache misses on block transitions.
 	lastFetchBlock uint64
@@ -121,10 +126,25 @@ type threadState struct {
 	// snapshots and resets it each epoch.
 	bbv [BBVEntries]uint32
 
-	// committed counts instructions committed by this thread (monotonic).
-	committed uint64
-	// flushed counts instructions squashed by policy-initiated flushes.
-	flushed uint64
+	// stats holds the thread's pipeline counters.
+	stats ThreadStats
+}
+
+// ThreadStats aggregates one thread's pipeline counters (monotonic).
+// Machine-wide totals are derived with Total.
+type ThreadStats struct {
+	// Fetched, Dispatched, Issued, and Committed count instructions
+	// passing each stage.
+	Fetched    uint64
+	Dispatched uint64
+	Issued     uint64
+	Committed  uint64
+	// Flushes counts policy-initiated flush events against the thread;
+	// Flushed counts the instructions those flushes squashed.
+	Flushes uint64
+	Flushed uint64
+	// Mispredicts counts resolved branch mispredictions.
+	Mispredicts uint64
 }
 
 // Stats aggregates machine-level counters (monotonic).
@@ -137,6 +157,23 @@ type Stats struct {
 	Flushes     uint64
 	Squashed    uint64
 	Mispredicts uint64
+}
+
+// Total sums per-thread counters into the machine-level aggregate.
+// Cycles is a machine property, not a thread one; Machine.Stats fills it.
+func Total(per []ThreadStats) Stats {
+	var s Stats
+	for i := range per {
+		t := &per[i]
+		s.Fetched += t.Fetched
+		s.Dispatched += t.Dispatched
+		s.Issued += t.Issued
+		s.Committed += t.Committed
+		s.Flushes += t.Flushes
+		s.Squashed += t.Flushed
+		s.Mispredicts += t.Mispredicts
+	}
+	return s
 }
 
 // Machine is the simulated SMT processor.
@@ -166,7 +203,14 @@ type Machine struct {
 
 	policy Policy
 
-	stats Stats
+	// cycles counts simulated cycles (per-thread counters live in each
+	// threadState; Stats aggregates both).
+	cycles uint64
+
+	// rec, when non-nil, receives per-cycle stall-attribution and
+	// occupancy telemetry (see record in telemetry.go). The hot loop pays
+	// one predictable nil-check branch per cycle when tracing is off.
+	rec *telemetry.Recorder
 
 	// stallUntil globally stalls the whole machine (used to charge the
 	// software cost of the hill-climbing algorithm, Section 4.2).
@@ -265,9 +309,13 @@ func New(cfg Config, streams []isa.Stream, pol Policy) *Machine {
 
 // Clone returns a deep copy of the machine: an execution checkpoint.
 // Advancing the clone and the original produces identical, independent
-// executions.
+// executions. The telemetry recorder is deliberately NOT carried over: a
+// recorder observes one machine, and the checkpoint-based learners run
+// many speculative clones whose counters would pollute the real run's
+// attribution. Attach a fresh recorder to a clone if it should be traced.
 func (m *Machine) Clone() *Machine {
 	c := *m
+	c.rec = nil
 	c.res = m.res.Clone()
 	c.mem = m.mem.Clone()
 	c.bp = m.bp.Clone()
@@ -312,14 +360,46 @@ func (m *Machine) Mem() *cache.Hierarchy { return m.mem }
 // Bpred exposes the branch predictor.
 func (m *Machine) Bpred() *bpred.Predictor { return m.bp }
 
-// Stats returns the machine-level counters.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns the machine-level counters, aggregated over threads.
+func (m *Machine) Stats() Stats {
+	s := Total(m.PerThreadStats())
+	s.Cycles = m.cycles
+	return s
+}
+
+// ThreadStats returns thread th's pipeline counters.
+func (m *Machine) ThreadStats(th int) ThreadStats { return m.threads[th].stats }
+
+// PerThreadStats returns a copy of every thread's counters, in context
+// order. Total aggregates them back into machine-level Stats.
+func (m *Machine) PerThreadStats() []ThreadStats {
+	out := make([]ThreadStats, len(m.threads))
+	for i := range m.threads {
+		out[i] = m.threads[i].stats
+	}
+	return out
+}
+
+// SetRecorder attaches (or with nil detaches) a telemetry recorder that
+// accumulates per-cycle stall-attribution counters and occupancy
+// histograms. The recorder's thread count must match the machine's.
+func (m *Machine) SetRecorder(r *telemetry.Recorder) {
+	if r != nil && len(r.Threads) != len(m.threads) {
+		panic(fmt.Sprintf("pipeline: recorder has %d threads, machine has %d",
+			len(r.Threads), len(m.threads)))
+	}
+	m.rec = r
+}
+
+// Recorder returns the attached telemetry recorder (nil when tracing is
+// off).
+func (m *Machine) Recorder() *telemetry.Recorder { return m.rec }
 
 // Committed returns the instructions committed so far by thread th.
-func (m *Machine) Committed(th int) uint64 { return m.threads[th].committed }
+func (m *Machine) Committed(th int) uint64 { return m.threads[th].stats.Committed }
 
 // Flushed returns the instructions squashed so far by flushes of thread th.
-func (m *Machine) Flushed(th int) uint64 { return m.threads[th].flushed }
+func (m *Machine) Flushed(th int) uint64 { return m.threads[th].stats.Flushed }
 
 // OutstandingL2 returns thread th's in-flight L2-missing load count.
 func (m *Machine) OutstandingL2(th int) int { return m.threads[th].outstandingL2 }

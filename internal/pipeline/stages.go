@@ -6,7 +6,9 @@ import (
 )
 
 // Cycle advances the machine by one cycle: commit, writeback, issue,
-// dispatch, fetch, then the attached policy's per-cycle hook.
+// dispatch, fetch, then the attached policy's per-cycle hook. With a
+// telemetry recorder attached, the cycle's stall attribution is recorded
+// last, after all stages have settled.
 func (m *Machine) Cycle() {
 	stalled := m.now < m.stallUntil
 	m.commit(stalled)
@@ -17,8 +19,11 @@ func (m *Machine) Cycle() {
 		m.fetch()
 		m.policy.Cycle(m)
 	}
+	if m.rec != nil {
+		m.record(stalled)
+	}
 	m.now++
-	m.stats.Cycles++
+	m.cycles++
 }
 
 // CycleN advances the machine by n cycles.
@@ -96,8 +101,7 @@ func (m *Machine) commitOne(th int) bool {
 	m.release(r)
 
 	t.bbv[int(in.BB)%BBVEntries]++
-	t.committed++
-	m.stats.Committed++
+	t.stats.Committed++
 	t.pendingHead++
 	// Compact the pending buffer once the dead prefix grows.
 	if t.pendingHead >= 512 {
@@ -134,8 +138,9 @@ func (m *Machine) writeback() {
 				m.bp.BTBUpdate(pc, t.addrBase+e.inst.Target)
 			}
 			if e.mispredicted {
-				m.stats.Mispredicts++
+				t.stats.Mispredicts++
 				t.fetchStall = m.now + uint64(m.cfg.MispredictPenalty)
+				t.fetchStallICache = false
 				if t.mispredictPending && t.mispredictSeq == e.inst.Seq {
 					t.mispredictPending = false
 				}
@@ -259,7 +264,7 @@ func (m *Machine) tryIssue(r ref, e *inflight, fu *FUConfig) bool {
 		e.holdsIQ = resource.NumKinds
 	}
 	m.schedule(r, lat)
-	m.stats.Issued++
+	t.stats.Issued++
 	return true
 }
 
@@ -376,7 +381,7 @@ func (m *Machine) dispatchOne(th int) bool {
 	t.rob = append(t.rob, r)
 	m.waiting = append(m.waiting, r)
 	t.dispatchCur++
-	m.stats.Dispatched++
+	t.stats.Dispatched++
 	return true
 }
 
@@ -467,13 +472,14 @@ func (m *Machine) fetchThread(th int, budget int) int {
 		if block != t.lastFetchBlock {
 			if lat := m.mem.Fetch(th, pc); lat > m.cfg.Mem.IL1.Latency {
 				t.fetchStall = m.now + uint64(lat)
+				t.fetchStallICache = true
 				break
 			}
 			t.lastFetchBlock = block
 		}
 
 		t.fetchCur++
-		m.stats.Fetched++
+		t.stats.Fetched++
 		budget--
 
 		if in.Class == isa.Branch {
@@ -517,10 +523,9 @@ func (m *Machine) FlushAfter(th int, seq uint64) {
 		squashed++
 	}
 	if squashed > 0 {
-		m.stats.Squashed += uint64(squashed)
-		t.flushed += uint64(squashed)
+		t.stats.Flushed += uint64(squashed)
 	}
-	m.stats.Flushes++
+	t.stats.Flushes++
 
 	// Rewind the fetch/dispatch cursors to just past seq. pending is in
 	// sequence order, so locate the first instruction with Seq > seq.

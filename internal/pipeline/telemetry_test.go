@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"testing"
+
+	"smthill/internal/telemetry"
+	"smthill/internal/trace"
+)
+
+// TestRecorderCountsCycles checks the basic accounting identities of an
+// attached recorder: every cycle is recorded, every cycle contributes one
+// occupancy sample per thread, and per-thread stall attributions never
+// exceed the cycle count.
+func TestRecorderCountsCycles(t *testing.T) {
+	m := newMachine(t, 2, []trace.Profile{ilpProfile(1), memProfile(2)}, nil)
+	rec := telemetry.NewRecorder(2)
+	m.SetRecorder(rec)
+
+	const cycles = 30_000
+	m.CycleN(cycles)
+
+	if rec.Cycles != cycles {
+		t.Fatalf("rec.Cycles = %d, want %d", rec.Cycles, cycles)
+	}
+	for th := range rec.Threads {
+		tc := &rec.Threads[th]
+		if tc.IQOcc.Count != cycles || tc.ROBOcc.Count != cycles {
+			t.Errorf("thread %d occupancy samples = %d/%d, want %d each",
+				th, tc.IQOcc.Count, tc.ROBOcc.Count, cycles)
+		}
+		var fetch, dispatch uint64
+		for _, v := range tc.Fetch {
+			fetch += v
+		}
+		for _, v := range tc.Dispatch {
+			dispatch += v
+		}
+		if fetch > cycles || dispatch > cycles {
+			t.Errorf("thread %d attributes more stalls than cycles: fetch=%d dispatch=%d",
+				th, fetch, dispatch)
+		}
+	}
+	// A memory-bound thread sharing the machine must show *some* stall
+	// attribution: a fully clean run means the classifier is dead code.
+	tot := rec.Totals()
+	var stalls uint64
+	for k, v := range tot {
+		if k != "cycles" && k != "occ.iq" && k != "occ.rob" {
+			stalls += v
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("no stall attribution recorded over a contended run")
+	}
+}
+
+// TestRecorderStalledMachine checks that whole-machine stalls (the
+// hill-climber's charged software overhead) are counted and excluded from
+// per-thread attribution.
+func TestRecorderStalledMachine(t *testing.T) {
+	m := newMachine(t, 1, []trace.Profile{ilpProfile(3)}, nil)
+	rec := telemetry.NewRecorder(1)
+	m.SetRecorder(rec)
+
+	m.Stall(200)
+	m.CycleN(1000)
+
+	if rec.Stalled != 200 {
+		t.Fatalf("rec.Stalled = %d, want 200", rec.Stalled)
+	}
+	if rec.Cycles != 1000 {
+		t.Fatalf("rec.Cycles = %d, want 1000", rec.Cycles)
+	}
+}
+
+// TestCloneDropsRecorder: speculative trial clones must not pollute the
+// parent run's attribution.
+func TestCloneDropsRecorder(t *testing.T) {
+	m := newMachine(t, 1, []trace.Profile{ilpProfile(4)}, nil)
+	m.SetRecorder(telemetry.NewRecorder(1))
+	m.CycleN(100)
+
+	c := m.Clone()
+	if c.Recorder() != nil {
+		t.Fatal("Clone kept the parent's recorder")
+	}
+	before := m.Recorder().Cycles
+	c.CycleN(500)
+	if got := m.Recorder().Cycles; got != before {
+		t.Fatalf("clone cycles leaked into parent recorder: %d -> %d", before, got)
+	}
+}
+
+// TestPerThreadStatsAggregate checks the satellite split: per-thread
+// stats exist, are individually plausible, and Total() reproduces the
+// aggregate Stats the rest of the codebase compares.
+func TestPerThreadStatsAggregate(t *testing.T) {
+	m := newMachine(t, 2, []trace.Profile{ilpProfile(5), memProfile(6)}, nil)
+	m.CycleN(30_000)
+
+	per := m.PerThreadStats()
+	if len(per) != 2 {
+		t.Fatalf("PerThreadStats returned %d entries", len(per))
+	}
+	agg := Total(per)
+	agg.Cycles = m.Stats().Cycles
+	if agg != m.Stats() {
+		t.Fatalf("Total(PerThreadStats()) = %+v != Stats() = %+v", agg, m.Stats())
+	}
+	for th, ts := range per {
+		if ts != m.ThreadStats(th) {
+			t.Errorf("ThreadStats(%d) disagrees with PerThreadStats()[%d]", th, th)
+		}
+		if ts.Committed == 0 {
+			t.Errorf("thread %d committed nothing", th)
+		}
+		if ts.Committed != m.Committed(th) {
+			t.Errorf("thread %d: stats.Committed=%d, Committed()=%d", th, ts.Committed, m.Committed(th))
+		}
+	}
+}
+
+// TestSetRecorderThreadMismatchPanics pins the misuse guard.
+func TestSetRecorderThreadMismatchPanics(t *testing.T) {
+	m := newMachine(t, 2, []trace.Profile{ilpProfile(7), ilpProfile(8)}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetRecorder with wrong thread count did not panic")
+		}
+	}()
+	m.SetRecorder(telemetry.NewRecorder(1))
+}

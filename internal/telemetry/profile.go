@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns a stop
+// function that finishes the profile and closes the file. Commands wire
+// this to a -cpuprofile flag.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an up-to-date allocation profile to path.
+// Commands call it at exit for a -memprofile flag.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialise the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("telemetry: write heap profile: %w", err)
+	}
+	return nil
+}
+
+// ServePprof serves net/http/pprof's handlers on addr (e.g.
+// "localhost:6060") in a background goroutine, so a long sweep can be
+// inspected live with `go tool pprof http://addr/debug/pprof/profile`.
+// The listen happens synchronously (a bad address reports immediately);
+// the server's lifetime is the process's.
+func ServePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: pprof server: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}
