@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: ci vet build test race benchsmoke profile
+.PHONY: ci vet lint build test race benchsmoke fuzzsmoke profile
 
-# ci is the gate: vet, build everything, the full test suite under the
-# race detector (internal/sweep's pool tests are the concurrency canary —
-# see TestWorkerPoolConcurrency), then one iteration of the telemetry
-# overhead benchmarks so a hot-loop regression fails loudly.
-ci: vet build race benchsmoke
+# ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
+# build everything, the full test suite under the race detector
+# (internal/sweep's pool tests are the concurrency canary — see
+# TestWorkerPoolConcurrency), one iteration of the telemetry overhead
+# benchmarks so a hot-loop regression fails loudly, and a short fuzz
+# smoke over the text-format parsers.
+ci: vet lint build race benchsmoke fuzzsmoke
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's determinism/invariant analyzer over every package
+# (see internal/lint and DESIGN.md "Static analysis & invariants").
+lint:
+	$(GO) run ./cmd/smtlint ./...
 
 build:
 	$(GO) build ./...
@@ -24,6 +31,12 @@ race:
 # just proof they still compile and complete.
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkMachine -benchtime 1x .
+
+# fuzzsmoke runs each fuzz target briefly — enough to exercise the seed
+# corpora plus a few thousand mutations, not a soak.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 5s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzParseWorkload -fuzztime 5s ./internal/workload
 
 # profile regenerates fig4 under the CPU profiler and prints the ten
 # hottest functions. The profile is left in bin/cpu.pprof for

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"smthill/internal/experiment"
@@ -232,8 +233,14 @@ func run(cfg experiment.Config, name string, opts options) {
 		fmt.Fprintln(out, "== Figure 5: synchronized time-varying performance (art-mcf) ==")
 		rows := experiment.Figure5(cfg, workload.ByName("art-mcf"))
 		experiment.WriteFigure5(out, rows)
-		for b, f := range experiment.WinFractions(rows) {
-			fmt.Fprintf(out, "OFF-LINE >= %s in %.1f%% of epochs\n", b, 100*f)
+		wins := experiment.WinFractions(rows)
+		baselines := make([]string, 0, len(wins))
+		for b := range wins {
+			baselines = append(baselines, b)
+		}
+		sort.Strings(baselines)
+		for _, b := range baselines {
+			fmt.Fprintf(out, "OFF-LINE >= %s in %.1f%% of epochs\n", b, 100*wins[b])
 		}
 	case "fig7":
 		fmt.Fprintln(out, "== Figures 6/7: hill-width analysis (2-thread) ==")

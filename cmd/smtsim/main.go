@@ -6,6 +6,8 @@
 //
 //	smtsim -workload art-mcf -tech HILL-WIPC -epochs 50
 //	smtsim -workload art-mcf -trace trace.jsonl -cpuprofile cpu.out
+//	smtsim -workload art-mcf -check          # per-cycle invariant checks
+//	smtsim -workload app1.profile,app2.profile   # external models
 //
 // Techniques: ICOUNT, STALL, FLUSH, DCRA, STATIC, HILL-IPC, HILL-WIPC,
 // HILL-HWIPC, HILL-PHASE.
@@ -23,6 +25,7 @@ import (
 	"smthill/internal/policy"
 	"smthill/internal/resource"
 	"smthill/internal/telemetry"
+	"smthill/internal/trace"
 	"smthill/internal/workload"
 )
 
@@ -35,6 +38,7 @@ func main() {
 		warmup     = flag.Int("warmup", 2, "warmup epochs before measurement")
 		delta      = flag.Int("delta", core.DefaultDelta, "hill-climbing step in rename registers")
 		trace      = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
+		check      = flag.Bool("check", false, "run per-cycle invariant checks (resource conservation, program-order commit); panics on the first violation")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -69,6 +73,9 @@ func main() {
 
 	w := lookupWorkload(*wlName)
 	m, dist, feedback := build(w, *tech, *delta)
+	if *check {
+		m.SetInvariantChecks(true)
+	}
 
 	var sink telemetry.Sink
 	if *trace != "" {
@@ -123,11 +130,38 @@ func main() {
 	}
 }
 
+// lookupWorkload resolves -workload: a Table 3 name, a comma-separated
+// application list, or comma-separated .profile files (parsed with
+// trace.ParseProfile and run as a custom workload).
 func lookupWorkload(name string) workload.Workload {
-	if strings.Contains(name, ",") {
-		return workload.Workload{Apps: strings.Split(name, ","), Group: "custom"}
+	if strings.Contains(name, ".profile") {
+		var profiles []trace.Profile
+		for _, path := range strings.Split(name, ",") {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			p, err := trace.ParseProfile(string(data))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(2)
+			}
+			profiles = append(profiles, p)
+		}
+		w, err := workload.Custom(profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return w
 	}
-	return workload.ByName(name)
+	w, err := workload.Parse(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return w
 }
 
 // build wires up the machine, per-cycle policy, and epoch distributor for

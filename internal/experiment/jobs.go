@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"smthill/internal/metrics"
 	"smthill/internal/sweep"
@@ -50,9 +51,17 @@ func mustRun[R any](jobs []sweep.Job[R]) map[string]R {
 // sampling defaults, hill-width levels, ...) are covered by
 // resultsVersion.
 
+// keyPrefix stamps a job family with the results version.
+func keyPrefix(family string) string {
+	return fmt.Sprintf("v%d|%s", resultsVersion, family)
+}
+
 // soloKey identifies a stand-alone reference run of one application.
 func soloKey(app string, cycles int) string {
-	return fmt.Sprintf("v%d|solo|app=%s|cycles=%d", resultsVersion, app, cycles)
+	return sweep.KeyFrom(keyPrefix("solo"), map[string]string{
+		"app":    app,
+		"cycles": strconv.Itoa(cycles),
+	})
 }
 
 func soloJob(app string, cycles int) sweep.Job[float64] {
@@ -98,8 +107,13 @@ func singlesFor(solos map[string]float64, w workload.Workload) []float64 {
 // baselineKey identifies one baseline-policy run. Baselines use no
 // learning and no sampling, so only the epoch geometry matters.
 func baselineKey(cfg Config, w workload.Workload, pol string) string {
-	return fmt.Sprintf("v%d|baseline|wl=%s|pol=%s|es=%d|ep=%d|wu=%d",
-		resultsVersion, w.Name(), pol, cfg.EpochSize, cfg.Epochs, cfg.WarmupEpochs)
+	return sweep.KeyFrom(keyPrefix("baseline"), map[string]string{
+		"wl":  w.Name(),
+		"pol": pol,
+		"es":  strconv.Itoa(cfg.EpochSize),
+		"ep":  strconv.Itoa(cfg.Epochs),
+		"wu":  strconv.Itoa(cfg.WarmupEpochs),
+	})
 }
 
 func baselineJob(cfg Config, w workload.Workload, pol string) sweep.Job[[]float64] {
@@ -115,8 +129,13 @@ func baselineJob(cfg Config, w workload.Workload, pol string) sweep.Job[[]float6
 // samples SingleIPC on-line (it never sees reference singles), so
 // SoloCycles does not enter the key.
 func hillKey(cfg Config, w workload.Workload, feedback metrics.Kind) string {
-	return fmt.Sprintf("v%d|hill|wl=%s|metric=%s|es=%d|ep=%d|wu=%d",
-		resultsVersion, w.Name(), feedback, cfg.EpochSize, cfg.Epochs, cfg.WarmupEpochs)
+	return sweep.KeyFrom(keyPrefix("hill"), map[string]string{
+		"wl":     w.Name(),
+		"metric": feedback.String(),
+		"es":     strconv.Itoa(cfg.EpochSize),
+		"ep":     strconv.Itoa(cfg.Epochs),
+		"wu":     strconv.Itoa(cfg.WarmupEpochs),
+	})
 }
 
 func hillJob(cfg Config, w workload.Workload, feedback metrics.Kind) sweep.Job[[]float64] {
@@ -132,9 +151,14 @@ func hillJob(cfg Config, w workload.Workload, feedback metrics.Kind) sweep.Job[[
 // the reference singles, which are fully determined by the workload's
 // apps plus SoloCycles, so SoloCycles stands in for them in the key.
 func offLineKey(cfg Config, w workload.Workload) string {
-	return fmt.Sprintf("v%d|offline|wl=%s|es=%d|ep=%d|wu=%d|stride=%d|sc=%d",
-		resultsVersion, w.Name(), cfg.EpochSize, cfg.Epochs, cfg.WarmupEpochs,
-		cfg.OffLineStride, cfg.SoloCycles)
+	return sweep.KeyFrom(keyPrefix("offline"), map[string]string{
+		"wl":     w.Name(),
+		"es":     strconv.Itoa(cfg.EpochSize),
+		"ep":     strconv.Itoa(cfg.Epochs),
+		"wu":     strconv.Itoa(cfg.WarmupEpochs),
+		"stride": strconv.Itoa(cfg.OffLineStride),
+		"sc":     strconv.Itoa(cfg.SoloCycles),
+	})
 }
 
 func offLineJob(cfg Config, w workload.Workload, singles []float64) sweep.Job[[]float64] {
@@ -149,9 +173,14 @@ func offLineJob(cfg Config, w workload.Workload, singles []float64) sweep.Job[[]
 // randHillKey identifies one RAND-HILL ideal run (same singles
 // dependency as OFF-LINE).
 func randHillKey(cfg Config, w workload.Workload) string {
-	return fmt.Sprintf("v%d|randhill|wl=%s|es=%d|ep=%d|wu=%d|iters=%d|sc=%d",
-		resultsVersion, w.Name(), cfg.EpochSize, cfg.Epochs, cfg.WarmupEpochs,
-		cfg.RandHillIters, cfg.SoloCycles)
+	return sweep.KeyFrom(keyPrefix("randhill"), map[string]string{
+		"wl":    w.Name(),
+		"es":    strconv.Itoa(cfg.EpochSize),
+		"ep":    strconv.Itoa(cfg.Epochs),
+		"wu":    strconv.Itoa(cfg.WarmupEpochs),
+		"iters": strconv.Itoa(cfg.RandHillIters),
+		"sc":    strconv.Itoa(cfg.SoloCycles),
+	})
 }
 
 func randHillJob(cfg Config, w workload.Workload, singles []float64) sweep.Job[[]float64] {

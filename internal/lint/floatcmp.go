@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompareRule forbids == and != between floating-point expressions.
+// IPC scores, metric evaluations, and gradient deltas are all float64;
+// exact equality on them is either a rounding-sensitive bug or a test
+// assertion that belongs behind a tolerance helper — and _test.go files
+// are outside the linted set for exactly that reason.
+//
+// Comparisons against the exact constant 0 are allowed by default: zero
+// is exactly representable and "field == 0" is the Go idiom for an unset
+// configuration value (see trace.Profile.Defaulted).
+type FloatCompareRule struct {
+	// Packages selects where the rule applies (empty = everywhere).
+	Packages []string
+	// AllowZero permits comparisons where one side is the exact constant
+	// zero (the unset-field sentinel idiom).
+	AllowZero bool
+}
+
+// NewFloatCompareRule returns the rule applied project-wide with the
+// zero-sentinel exemption.
+func NewFloatCompareRule() *FloatCompareRule { return &FloatCompareRule{AllowZero: true} }
+
+// Name implements Rule.
+func (r *FloatCompareRule) Name() string { return "float-compare" }
+
+// Doc implements Rule.
+func (r *FloatCompareRule) Doc() string {
+	return "forbid ==/!= on floating-point expressions (compare with a tolerance; exact-zero sentinels allowed)"
+}
+
+// Check implements Rule.
+func (r *FloatCompareRule) Check(p *Package) []Finding {
+	if !matchPackage(p.Path, r.Packages) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, be.X) && !isFloat(p, be.Y) {
+				return true
+			}
+			if r.AllowZero && (isExactZero(p, be.X) || isExactZero(p, be.Y)) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(be.OpPos),
+				Rule: r.Name(),
+				Msg: fmt.Sprintf("floating-point %s comparison; use a tolerance (or an integer representation) instead",
+					be.Op),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether e's type is a floating-point (or untyped
+// float constant) type.
+func isFloat(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a constant equal to exactly zero.
+func isExactZero(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+}

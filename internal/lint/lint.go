@@ -1,0 +1,185 @@
+// Package lint is smtlint's rule engine: a zero-dependency static
+// analyzer, built on the standard library's go/ast, go/parser, and
+// go/types, that enforces the project's determinism and instrumentation
+// invariants.
+//
+// The simulator's results are only trustworthy because every run is
+// bit-deterministic: the hill-climbing gradient measurements (Section 4
+// of the paper) compare IPC deltas of a few percent between epochs, so a
+// stray wall-clock read, global math/rand draw, or map-iteration order
+// leaking into simulator state or experiment output silently corrupts
+// the very signal the learner climbs. These hazards do not crash tests;
+// they skew results. The rules here make them build failures instead:
+//
+//   - nondeterminism (nondet.go): forbid wall-clock and process-entropy
+//     sources in simulation packages; internal/rng is the sanctioned
+//     randomness source, and the orchestration layers (internal/sweep,
+//     internal/telemetry) may read the wall clock for reporting.
+//   - map-order (maporder.go): flag ranging over a map when the body
+//     feeds an order-sensitive sink (slice append, printing, writers,
+//     hashes) without sorting keys first.
+//   - recorder-guard (recorder.go): every dereference of a
+//     telemetry.Recorder or telemetry.Sink inside internal/pipeline must
+//     be dominated by a nil check — the telemetry overhead contract.
+//   - float-compare (floatcmp.go): forbid ==/!= on floating-point
+//     expressions outside _test.go files (sentinel comparisons against
+//     exact zero are allowed).
+//
+// Rules are individually constructable and configurable so tests can
+// point them at fixture packages; DefaultRules returns the project
+// configuration that cmd/smtlint enforces.
+//
+// Findings can be suppressed per line with a trailing or preceding
+// comment of the form:
+//
+//	//smtlint:ignore <rule-name> <reason>
+//
+// The reason is mandatory by convention (the directive is grep-able), but
+// not enforced.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule is the reporting rule's name.
+	Rule string
+	// Msg describes the violation and the sanctioned alternative.
+	Msg string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Rule is one named, independently testable invariant check.
+type Rule interface {
+	// Name identifies the rule in findings and ignore directives.
+	Name() string
+	// Doc is a one-line description of what the rule enforces.
+	Doc() string
+	// Check analyzes one loaded package and returns its violations.
+	Check(p *Package) []Finding
+}
+
+// DefaultRules returns the project rule set cmd/smtlint enforces, with
+// the allowlists described in DESIGN.md.
+func DefaultRules() []Rule {
+	return []Rule{
+		NewNondetRule(),
+		NewMapOrderRule(),
+		NewRecorderGuardRule(),
+		NewFloatCompareRule(),
+	}
+}
+
+// Run applies every rule to every package and returns the surviving
+// findings sorted by position. Findings on a line carrying (or directly
+// following a line carrying) an "//smtlint:ignore <rule>" directive are
+// dropped.
+func Run(rules []Rule, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		ignored := ignoreDirectives(p)
+		for _, r := range rules {
+			for _, f := range r.Check(p) {
+				if ignored[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}] ||
+					ignored[ignoreKey{f.Pos.Filename, f.Pos.Line, "*"}] {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// ignoreKey addresses one suppressed (file, line, rule) combination.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// ignoreDirectives collects the package's "//smtlint:ignore" comments. A
+// directive suppresses the named rule (or "*" for any rule) on its own
+// line and on the following line, so it works both trailing a statement
+// and on the line above it.
+func ignoreDirectives(p *Package) map[ignoreKey]bool {
+	out := map[ignoreKey]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "smtlint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "smtlint:ignore"))
+				rule := "*"
+				if len(fields) > 0 {
+					rule = fields[0]
+				}
+				pos := p.Fset.Position(c.Pos())
+				out[ignoreKey{pos.Filename, pos.Line, rule}] = true
+				out[ignoreKey{pos.Filename, pos.Line + 1, rule}] = true
+			}
+		}
+	}
+	return out
+}
+
+// matchPackage reports whether path is, or is a subpackage of, any entry
+// in pats. Entries match on full import path or on a "/"-delimited
+// suffix, so both "smthill/internal/pipeline" and "internal/pipeline"
+// select the pipeline package. An empty pats matches every package.
+func matchPackage(path string, pats []string) bool {
+	if len(pats) == 0 {
+		return true
+	}
+	for _, pat := range pats {
+		if path == pat || strings.HasSuffix(path, "/"+pat) {
+			return true
+		}
+		if strings.HasPrefix(path, pat+"/") || strings.Contains(path, "/"+pat+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function body in the package along with its
+// enclosing file (for position context).
+func funcDecls(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderRule flags ranging over a map when the loop body feeds an
+// order-sensitive sink: appending to a slice that outlives the loop,
+// printing/formatting, writing to a writer or hash, or sending on a
+// channel. Go randomises map iteration order per run, so any of these
+// lets the randomisation escape into output, cache keys, or simulator
+// state.
+//
+// The sanctioned pattern — collect the keys (or values) into a slice,
+// sort it, then iterate the slice — is recognised and exempt: appending
+// to an outer slice is allowed when that slice is later passed to a
+// sort.* or slices.* call within the same function, since the sort
+// erases whatever order the map handed out.
+type MapOrderRule struct {
+	// Packages selects where the rule applies (empty = everywhere).
+	Packages []string
+}
+
+// NewMapOrderRule returns the rule applied to every package: experiment
+// output, job keys, and simulator state construction all run through
+// ordinary package code.
+func NewMapOrderRule() *MapOrderRule { return &MapOrderRule{} }
+
+// Name implements Rule.
+func (r *MapOrderRule) Name() string { return "map-order" }
+
+// Doc implements Rule.
+func (r *MapOrderRule) Doc() string {
+	return "flag map iteration feeding an order-sensitive sink without sorting keys first"
+}
+
+// Check implements Rule.
+func (r *MapOrderRule) Check(p *Package) []Finding {
+	if !matchPackage(p.Path, r.Packages) {
+		return nil
+	}
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, pos := orderSink(p, fd, rs); sink != "" {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(pos),
+					Rule: r.Name(),
+					Msg: fmt.Sprintf("map iteration %s; iteration order is randomised — collect and sort the keys first",
+						sink),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// orderSink scans a range body for the first order-sensitive sink and
+// describes it; "" means the body is order-insensitive (e.g. it only
+// aggregates into another map, accumulates commutatively, or collects
+// into a slice the function sorts afterwards).
+func orderSink(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) (string, token.Pos) {
+	var sink string
+	var at ast.Node
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink, at = "sends on a channel", n
+			return false
+		case *ast.AssignStmt:
+			if tgt, obj, ok := outerAppendTarget(p, rs, n); ok {
+				if obj != nil && sortedAfter(p, fd, rs, obj) {
+					return true // sorted-collect pattern: order erased below
+				}
+				sink, at = fmt.Sprintf("appends to slice %q that outlives the loop", tgt), n
+				return false
+			}
+		case *ast.CallExpr:
+			if desc := sinkCall(p, n); desc != "" {
+				sink, at = desc, n
+				return false
+			}
+		}
+		return true
+	})
+	if at == nil {
+		at = rs
+	}
+	return sink, at.Pos()
+}
+
+// outerAppendTarget reports whether the assignment appends to a slice
+// declared outside the range statement (or held in a struct field), and
+// names the target. The object is nil for field targets, which cannot be
+// tracked to a later sort.
+func outerAppendTarget(p *Package, rs *ast.RangeStmt, as *ast.AssignStmt) (string, types.Object, bool) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return "", nil, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(p, call.Fun, "append") {
+		return "", nil, false
+	}
+	switch lhs := as.Lhs[0].(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[lhs]
+		if obj == nil {
+			obj = p.Info.Defs[lhs]
+		}
+		if obj != nil && obj.Pos().IsValid() && obj.Pos() < rs.Pos() {
+			return lhs.Name, obj, true
+		}
+	case *ast.SelectorExpr:
+		// A field always outlives the loop.
+		return lhs.Sel.Name, nil, true
+	}
+	return "", nil, false
+}
+
+// sinkCall describes a call that is order-sensitive: fmt printing and
+// formatting, writer/hash/sink methods, and error construction that
+// embeds iteration-ordered text.
+func sinkCall(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			switch obj.Imported().Path() {
+			case "fmt":
+				return "formats output via fmt." + sel.Sel.Name
+			}
+			return ""
+		}
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Emit", "Encode", "Sum":
+		return fmt.Sprintf("feeds a writer/hash via .%s", sel.Sel.Name)
+	}
+	return ""
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(p *Package, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether target is passed to a sort.* / slices.*
+// call after the range statement ends, within the same function.
+func sortedAfter(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, target types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rs.End() {
+			return !sorted
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, a := range c.Args {
+			if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == target {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NondetRule forbids wall-clock and process-entropy sources inside
+// simulation packages. Epoch-level learning compares per-epoch IPC deltas
+// of a few percent between otherwise identical runs; any entropy reaching
+// simulator state destroys that comparison silently. internal/rng is the
+// sanctioned randomness source (seeded, value-copyable, replayable), and
+// the orchestration layers may read the wall clock for utilisation
+// reporting only.
+type NondetRule struct {
+	// SimPackages selects the packages the rule applies to (matchPackage
+	// semantics; empty = all packages).
+	SimPackages []string
+	// Allow lists packages exempt from the rule even when matched by
+	// SimPackages.
+	Allow []string
+}
+
+// NewNondetRule returns the rule configured for this repository: the
+// cycle-level simulator and everything feeding it are simulation
+// packages; internal/rng is the sanctioned entropy source, and
+// internal/sweep plus internal/telemetry may time wall-clock work.
+func NewNondetRule() *NondetRule {
+	return &NondetRule{
+		SimPackages: []string{
+			"internal/pipeline", "internal/core", "internal/bpred",
+			"internal/cache", "internal/workload", "internal/trace",
+			"internal/resource", "internal/policy", "internal/phase",
+			"internal/metrics", "internal/stats", "internal/isa",
+			"internal/experiment",
+		},
+		Allow: []string{"internal/rng", "internal/sweep", "internal/telemetry"},
+	}
+}
+
+// Name implements Rule.
+func (r *NondetRule) Name() string { return "nondeterminism" }
+
+// Doc implements Rule.
+func (r *NondetRule) Doc() string {
+	return "forbid wall-clock and process-entropy sources in simulation packages (use internal/rng)"
+}
+
+// entropyImports are packages whose mere import into a simulation package
+// is a violation: all their useful API is entropy.
+var entropyImports = map[string]string{
+	"math/rand":    "global math/rand is process-seeded",
+	"math/rand/v2": "math/rand/v2 is process-seeded",
+	"crypto/rand":  "crypto/rand is pure entropy",
+}
+
+// entropyFuncs are individual functions whose call (or mention) in a
+// simulation package is a violation, keyed by package path then name.
+var entropyFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock read",
+		"Since":     "wall-clock read",
+		"Until":     "wall-clock read",
+		"After":     "wall-clock timer",
+		"Tick":      "wall-clock timer",
+		"NewTicker": "wall-clock timer",
+		"NewTimer":  "wall-clock timer",
+		"Sleep":     "wall-clock dependence",
+	},
+	"os": {
+		"Getpid":   "process-id entropy",
+		"Getppid":  "process-id entropy",
+		"Hostname": "host-identity entropy",
+		"Environ":  "environment-dependent input",
+		"Getenv":   "environment-dependent input",
+	},
+}
+
+// Check implements Rule.
+func (r *NondetRule) Check(p *Package) []Finding {
+	if !matchPackage(p.Path, r.SimPackages) {
+		return nil
+	}
+	// An empty Allow list allows nothing (matchPackage treats empty as
+	// match-all, which is right for SimPackages but backwards here).
+	if len(r.Allow) > 0 && matchPackage(p.Path, r.Allow) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if why, ok := entropyImports[path]; ok {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(imp.Pos()),
+					Rule: r.Name(),
+					Msg: fmt.Sprintf("simulation package imports %s (%s); use internal/rng, seeded from the workload",
+						path, why),
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if names, ok := entropyFuncs[obj.Pkg().Path()]; ok {
+				if _, isFunc := obj.(*types.Func); isFunc {
+					if why, ok := names[obj.Name()]; ok {
+						out = append(out, Finding{
+							Pos:  p.Fset.Position(id.Pos()),
+							Rule: r.Name(),
+							Msg: fmt.Sprintf("simulation package calls %s.%s (%s); simulator state must be a pure function of seeds and config",
+								obj.Pkg().Path(), obj.Name(), why),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// importPath returns the unquoted import path of an import spec.
+func importPath(s *ast.ImportSpec) string {
+	p := s.Path.Value
+	if len(p) >= 2 {
+		p = p[1 : len(p)-1]
+	}
+	return p
+}

@@ -1,0 +1,12 @@
+// Package floatbad compares floating-point values with exact equality.
+package floatbad
+
+// Same compares two IPC-like scores exactly.
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Changed mixes arithmetic into an exact inequality.
+func Changed(prev, next float64) bool {
+	return next/prev != 1.0
+}

@@ -1,0 +1,20 @@
+// Package floatok shows the sanctioned comparisons: tolerances, the
+// exact-zero sentinel idiom, and integer equality.
+package floatok
+
+import "math"
+
+// Close compares under a tolerance.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Unset uses the exact-zero sentinel for a defaulted config field.
+func Unset(v float64) bool {
+	return v == 0
+}
+
+// SameCount compares integers; equality is exact there.
+func SameCount(a, b int64) bool {
+	return a == b
+}

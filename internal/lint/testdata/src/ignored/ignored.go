@@ -1,0 +1,22 @@
+// Package ignored carries suppressed violations, exercising both the
+// same-line and line-above directive placements.
+package ignored
+
+import "time"
+
+// Stamp is a deliberate wall-clock read, suppressed on the same line.
+func Stamp() int64 {
+	return time.Now().UnixNano() //smtlint:ignore nondeterminism fixture: suppression test
+}
+
+// Stamp2 is suppressed from the line above.
+func Stamp2() int64 {
+	//smtlint:ignore nondeterminism fixture: suppression test
+	return time.Now().UnixNano()
+}
+
+// Stamp3 is NOT suppressed: the directive names a different rule.
+func Stamp3() int64 {
+	//smtlint:ignore float-compare fixture: wrong rule on purpose
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,29 @@
+// Package maporderbad lets map-iteration order escape three ways:
+// printing, appending to an outer slice that is never sorted, and
+// sending on a channel.
+package maporderbad
+
+import "fmt"
+
+// Print emits lines in randomised order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Collect returns keys in randomised order (no sort follows).
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Send streams values in randomised order.
+func Send(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v
+	}
+}

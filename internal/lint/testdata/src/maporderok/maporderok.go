@@ -1,0 +1,51 @@
+// Package maporderok shows the sanctioned forms: sorted-keys collection
+// before any output, and order-insensitive aggregation.
+package maporderok
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Print sorts the keys before emitting anything.
+func Print(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// Filtered collects conditionally — still fine, the sort below erases
+// the map's order.
+func Filtered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if k != "ALL" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates commutatively; order cannot escape.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert aggregates map-to-map; both sides are unordered.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+// Package nondetbad exercises every nondeterminism-rule trigger: an
+// entropy import and wall-clock/process-entropy calls.
+package nondetbad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Seed leaks process entropy into "simulator" state.
+func Seed() int64 {
+	return time.Now().UnixNano() + int64(os.Getpid()) + int64(rand.Int())
+}
+
+// Elapsed reads the wall clock twice.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,20 @@
+// Package nondetok is the fixed form of nondetbad: deterministic seeds
+// via internal/rng, and time used only as a unit type.
+package nondetok
+
+import (
+	"time"
+
+	"smthill/internal/rng"
+)
+
+// Seed derives randomness from a fixed, replayable source.
+func Seed(seed uint64) uint64 {
+	r := rng.New(seed)
+	return r.Uint64()
+}
+
+// Budget is pure arithmetic on duration values; no clock is read.
+func Budget(perCycle time.Duration, cycles int64) time.Duration {
+	return perCycle * time.Duration(cycles)
+}

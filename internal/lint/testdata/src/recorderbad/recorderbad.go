@@ -1,0 +1,33 @@
+// Package recorderbad dereferences a nil-when-off recorder without a
+// dominating nil check, in both direct and aliased form.
+package recorderbad
+
+// Recorder stands in for telemetry.Recorder; the test configures the
+// rule's Types to point here.
+type Recorder struct {
+	Cycles  int
+	Threads []int
+}
+
+// Machine carries an optional recorder, nil when tracing is off.
+type Machine struct {
+	rec *Recorder
+}
+
+// Tick dereferences m.rec with no guard at all.
+func (m *Machine) Tick() {
+	m.rec.Cycles++
+}
+
+// Sample aliases the recorder but never checks the alias.
+func (m *Machine) Sample(th int) {
+	rec := m.rec
+	rec.Threads[th]++
+}
+
+// Wrong guards one expression but dereferences another.
+func (m *Machine) Wrong(other *Machine) {
+	if m.rec != nil {
+		other.rec.Cycles++
+	}
+}

@@ -1,0 +1,55 @@
+// Package recorderok shows every guarded form the rule accepts.
+package recorderok
+
+// Recorder stands in for telemetry.Recorder; the test configures the
+// rule's Types to point here.
+type Recorder struct {
+	Cycles  int
+	Threads []int
+}
+
+// Machine carries an optional recorder, nil when tracing is off.
+type Machine struct {
+	rec *Recorder
+}
+
+// Tick uses the then-branch of a != nil check.
+func (m *Machine) Tick() {
+	if m.rec != nil {
+		m.rec.Cycles++
+	}
+}
+
+// Sample uses an early return on == nil, then a checked alias.
+func (m *Machine) Sample(th int) {
+	rec := m.rec
+	if rec == nil {
+		return
+	}
+	rec.Threads[th]++
+}
+
+// Busy guards across && in a single condition.
+func (m *Machine) Busy() bool {
+	return m.rec != nil && m.rec.Cycles > 0
+}
+
+// Reset uses the else-branch of a == nil check.
+func (m *Machine) Reset() {
+	if m.rec == nil {
+		return
+	} else {
+		m.rec.Cycles = 0
+	}
+}
+
+// Flush receives an already-guarded recorder as a parameter.
+func Flush(rec *Recorder) {
+	rec.Cycles = 0
+}
+
+// Totals is a method on the recorder itself; the receiver arrives
+// checked by the caller.
+func (r *Recorder) Totals() int {
+	return r.Cycles
+}

@@ -1,7 +1,7 @@
 package pipeline
 
 import (
-	"fmt"
+	"strings"
 	"testing"
 
 	"smthill/internal/isa"
@@ -10,109 +10,10 @@ import (
 	"smthill/internal/trace"
 )
 
-// liveSlots returns the set of slab indices not on the free list.
-func (m *Machine) liveSlots() map[int32]bool {
-	free := map[int32]bool{}
-	for _, idx := range m.free {
-		free[idx] = true
-	}
-	live := map[int32]bool{}
-	for i := range m.slab {
-		if !free[int32(i)] {
-			live[int32(i)] = true
-		}
-	}
-	return live
-}
-
-// checkInvariants recomputes all occupancy counters from the slab and
-// cross-checks the machine's bookkeeping.
-func (m *Machine) checkInvariants() error {
-	live := m.liveSlots()
-
-	// Every ROB entry references a live slot with a matching generation,
-	// in increasing sequence order per thread.
-	robSet := map[int32]bool{}
-	for th := range m.threads {
-		var prevSeq uint64
-		for i, r := range m.threads[th].rob {
-			e := m.get(r)
-			if e == nil {
-				return fmt.Errorf("thread %d ROB[%d] is stale", th, i)
-			}
-			if !live[r.idx] {
-				return fmt.Errorf("thread %d ROB[%d] references a freed slot", th, i)
-			}
-			if int(e.thread) != th {
-				return fmt.Errorf("thread %d ROB entry belongs to thread %d", th, e.thread)
-			}
-			if i > 0 && e.inst.Seq <= prevSeq {
-				return fmt.Errorf("thread %d ROB out of order at %d", th, i)
-			}
-			prevSeq = e.inst.Seq
-			robSet[r.idx] = true
-		}
-	}
-	// Every live slot is in some ROB (no orphans).
-	if len(robSet) != len(live) {
-		return fmt.Errorf("%d live slots but %d ROB entries", len(live), len(robSet))
-	}
-
-	// Recompute occupancy per thread and kind.
-	var occ [maxContexts][resource.NumKinds]int
-	for idx := range live {
-		e := &m.slab[idx]
-		th := int(e.thread)
-		occ[th][resource.ROB]++
-		if e.holdsIQ == resource.IntIQ || e.holdsIQ == resource.FpIQ {
-			occ[th][e.holdsIQ]++
-		}
-		if e.holdsLSQ {
-			occ[th][resource.LSQ]++
-		}
-		if e.holdsIntR {
-			occ[th][resource.IntRename]++
-		}
-		if e.holdsFpR {
-			occ[th][resource.FpRename]++
-		}
-	}
-	for th := range m.threads {
-		for k := resource.Kind(0); k < resource.NumKinds; k++ {
-			if got := m.res.Occ(th, k); got != occ[th][k] {
-				return fmt.Errorf("thread %d %v occupancy %d, slab says %d", th, k, got, occ[th][k])
-			}
-		}
-	}
-
-	// Outstanding-miss counters match the slab.
-	for th := range m.threads {
-		l2, dm := 0, 0
-		for idx := range live {
-			e := &m.slab[idx]
-			if int(e.thread) != th || e.done {
-				continue
-			}
-			if e.l2miss {
-				l2++
-			}
-			if e.dmiss {
-				dm++
-			}
-		}
-		if m.threads[th].outstandingL2 != l2 {
-			return fmt.Errorf("thread %d outstandingL2 %d, slab says %d", th, m.threads[th].outstandingL2, l2)
-		}
-		if m.threads[th].outstandingDMiss != dm {
-			return fmt.Errorf("thread %d outstandingDMiss %d, slab says %d", th, m.threads[th].outstandingDMiss, dm)
-		}
-	}
-	return nil
-}
-
 // TestInvariantsUnderRandomizedStress runs random machines with random
 // partition changes and random policy flushes, checking the full
-// bookkeeping every few cycles.
+// bookkeeping every few cycles. Per-cycle checking (the -check mode) is
+// enabled on top, so its cheap asserts run every cycle of every trial.
 func TestInvariantsUnderRandomizedStress(t *testing.T) {
 	r := rng.New(2024)
 	for trial := 0; trial < 6; trial++ {
@@ -128,6 +29,7 @@ func TestInvariantsUnderRandomizedStress(t *testing.T) {
 			streams[i] = trace.New(profs[i])
 		}
 		m := New(DefaultConfig(threads), streams, nil)
+		m.SetInvariantChecks(true)
 		total := m.Resources().Sizes()[resource.IntRename]
 		for c := 0; c < 6_000; c++ {
 			m.Cycle()
@@ -150,18 +52,87 @@ func TestInvariantsUnderRandomizedStress(t *testing.T) {
 				}
 			}
 			if c%53 == 0 {
-				if err := m.checkInvariants(); err != nil {
+				if err := m.CheckInvariants(); err != nil {
 					t.Fatalf("trial %d cycle %d: %v", trial, c, err)
 				}
 			}
 		}
 		// Final deep check plus clone equivalence.
-		if err := m.checkInvariants(); err != nil {
+		if err := m.CheckInvariants(); err != nil {
 			t.Fatalf("trial %d final: %v", trial, err)
 		}
 		c := m.Clone()
-		if err := c.checkInvariants(); err != nil {
+		if !c.InvariantChecks() {
+			t.Fatal("clone dropped invariant-checking mode")
+		}
+		if err := c.CheckInvariants(); err != nil {
 			t.Fatalf("trial %d clone: %v", trial, err)
 		}
+	}
+}
+
+// TestCorruptedSharesTripConservationCheck programs a share vector whose
+// sum does not match the rename file and expects the per-cycle
+// conservation check to catch it.
+func TestCorruptedSharesTripConservationCheck(t *testing.T) {
+	threads := 2
+	streams := []isa.Stream{
+		trace.New(ilpProfile(1)),
+		trace.New(memProfile(2)),
+	}
+	m := New(DefaultConfig(threads), streams, nil)
+	m.SetInvariantChecks(true)
+	m.CycleN(100)
+
+	total := m.Resources().Sizes()[resource.IntRename]
+	bad := resource.EqualShares(threads, total)
+	bad[0] -= 16 // sum now short by 16: registers leaked out of the machine
+	m.Resources().SetShares(bad)
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("corrupted share vector did not trip the conservation check")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.Contains(msg, "shares sum") {
+			panic(rec) // not our panic; let it propagate
+		}
+	}()
+	m.Cycle()
+}
+
+// TestCheckInvariantsReportsCorruption corrupts bookkeeping directly and
+// expects CheckInvariants to return an error rather than nil.
+func TestCheckInvariantsReportsCorruption(t *testing.T) {
+	m := New(DefaultConfig(2), []isa.Stream{
+		trace.New(ilpProfile(3)),
+		trace.New(ilpProfile(4)),
+	}, nil)
+	m.CycleN(500)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("healthy machine failed check: %v", err)
+	}
+	// Leak one ROB entry's worth of occupancy.
+	m.res.Free(0, resource.ROB)
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("CheckInvariants missed a leaked ROB entry")
+	}
+}
+
+// TestInvariantChecksOffByDefault pins the zero-cost-when-off contract's
+// functional half: no checking state exists unless requested.
+func TestInvariantChecksOffByDefault(t *testing.T) {
+	m := New(DefaultConfig(1), []isa.Stream{trace.New(ilpProfile(5))}, nil)
+	if m.InvariantChecks() {
+		t.Fatal("invariant checks on by default")
+	}
+	m.SetInvariantChecks(true)
+	if !m.InvariantChecks() {
+		t.Fatal("SetInvariantChecks(true) did not enable checking")
+	}
+	m.SetInvariantChecks(false)
+	if m.InvariantChecks() {
+		t.Fatal("SetInvariantChecks(false) did not disable checking")
 	}
 }

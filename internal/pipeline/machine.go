@@ -215,6 +215,11 @@ type Machine struct {
 	// stallUntil globally stalls the whole machine (used to charge the
 	// software cost of the hill-climbing algorithm, Section 4.2).
 	stallUntil uint64
+
+	// inv, when non-nil, enables the per-cycle invariant checks of
+	// SetInvariantChecks (see check.go). Like rec, the off state costs one
+	// nil-test per cycle.
+	inv *invariantState
 }
 
 // Policy is a per-cycle resource distribution mechanism (FLUSH, STALL,
@@ -330,6 +335,9 @@ func (m *Machine) Clone() *Machine {
 	}
 	c.policy = m.policy.Clone()
 	c.fetchDisabled = append([]bool(nil), m.fetchDisabled...)
+	if m.inv != nil {
+		c.inv = m.inv.clone()
+	}
 	c.threads = make([]threadState, len(m.threads))
 	for i := range m.threads {
 		t := m.threads[i]

@@ -24,6 +24,9 @@ func (m *Machine) Cycle() {
 	}
 	m.now++
 	m.cycles++
+	if m.inv != nil {
+		m.checkCycle()
+	}
 }
 
 // CycleN advances the machine by n cycles.
@@ -83,6 +86,9 @@ func (m *Machine) commitOne(th int) bool {
 		return false
 	}
 	in := &e.inst
+	if m.inv != nil {
+		m.checkCommit(th, in.Seq)
+	}
 	if in.Class == isa.Store {
 		m.mem.Store(th, t.addrBase+in.Addr)
 	}

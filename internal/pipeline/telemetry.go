@@ -13,6 +13,9 @@ import (
 // BenchmarkMachineTelemetryOff.
 func (m *Machine) record(stalled bool) {
 	rec := m.rec
+	if rec == nil {
+		return
+	}
 	rec.Cycles++
 	if stalled {
 		rec.Stalled++

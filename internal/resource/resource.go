@@ -151,6 +151,21 @@ func (s Shares) Shift(favored, delta int) Shares {
 	return n
 }
 
+// shareMode records how the partition registers were last programmed, so
+// CheckConservation can re-derive and cross-check them.
+type shareMode uint8
+
+const (
+	// modeNone: no share vector is in force (ClearPartitions or direct
+	// SetLimit programming).
+	modeNone shareMode = iota
+	// modeProportional: SetShares derived the IQ and ROB limits from the
+	// rename shares.
+	modeProportional
+	// modeRenameOnly: SetSharesRenameOnly left IQ and ROB fully shared.
+	modeRenameOnly
+)
+
 // Table tracks per-thread occupancy and partition limits for every shared
 // structure. It is a plain value type aside from its slices; Clone
 // produces an independent deep copy for checkpointing.
@@ -160,6 +175,16 @@ type Table struct {
 	occ     []int // threads*NumKinds occupancy counters
 	limit   []int // threads*NumKinds partition limits
 	total   Sizes // aggregate occupancy per structure
+
+	// shares remembers the last share vector programmed through SetShares
+	// or SetSharesRenameOnly (nil under modeNone); mode records which
+	// derivation produced the current limits; version counts every
+	// reprogramming, letting per-cycle checks tell "occupancy exceeds a
+	// just-shrunk limit" (legal, drains) from "occupancy grew past its
+	// limit" (a conservation bug).
+	shares  Shares
+	mode    shareMode
+	version uint64
 }
 
 // NewTable returns a table for the given thread count with partitioning
@@ -180,6 +205,7 @@ func (t *Table) Clone() *Table {
 	c := *t
 	c.occ = append([]int(nil), t.occ...)
 	c.limit = append([]int(nil), t.limit...)
+	c.shares = t.shares.Clone()
 	return &c
 }
 
@@ -208,6 +234,8 @@ func (t *Table) ClearPartitions() {
 			t.limit[t.idx(th, k)] = t.sizes[k]
 		}
 	}
+	t.shares, t.mode = nil, modeNone
+	t.version++
 }
 
 // SetShares programs the partition registers from a division of the
@@ -224,6 +252,8 @@ func (t *Table) SetShares(shares Shares) {
 		t.limit[t.idx(th, IntIQ)] = proportional(share, renameTotal, t.sizes[IntIQ])
 		t.limit[t.idx(th, ROB)] = proportional(share, renameTotal, t.sizes[ROB])
 	}
+	t.shares, t.mode = shares.Clone(), modeProportional
+	t.version++
 }
 
 // SetSharesRenameOnly programs the partition registers for the integer
@@ -239,6 +269,8 @@ func (t *Table) SetSharesRenameOnly(shares Shares) {
 		t.limit[t.idx(th, IntIQ)] = t.sizes[IntIQ]
 		t.limit[t.idx(th, ROB)] = t.sizes[ROB]
 	}
+	t.shares, t.mode = shares.Clone(), modeRenameOnly
+	t.version++
 }
 
 // SetLimit programs one thread's limit for one structure directly. It is
@@ -252,6 +284,8 @@ func (t *Table) SetLimit(th int, k Kind, limit int) {
 		limit = 1
 	}
 	t.limit[t.idx(th, k)] = limit
+	t.shares, t.mode = nil, modeNone
+	t.version++
 }
 
 // proportional scales share/total onto a structure with size entries,
@@ -301,4 +335,80 @@ func (t *Table) AtPartitionLimit(th int) bool {
 	return t.occ[t.idx(th, IntIQ)] >= t.limit[t.idx(th, IntIQ)] ||
 		t.occ[t.idx(th, IntRename)] >= t.limit[t.idx(th, IntRename)] ||
 		t.occ[t.idx(th, ROB)] >= t.limit[t.idx(th, ROB)]
+}
+
+// Version returns a counter that increments on every partition
+// reprogramming (SetShares, SetSharesRenameOnly, SetLimit,
+// ClearPartitions). Per-cycle invariant checks use it to distinguish
+// occupancy legitimately draining down to a just-shrunk limit from
+// occupancy growing past its limit.
+func (t *Table) Version() uint64 { return t.version }
+
+// ProgrammedShares returns a copy of the share vector currently in force
+// and true, or nil and false when the table is not under share-based
+// partitioning (ClearPartitions or direct SetLimit programming).
+func (t *Table) ProgrammedShares() (Shares, bool) {
+	if t.mode == modeNone {
+		return nil, false
+	}
+	return t.shares.Clone(), true
+}
+
+// CheckConservation verifies the table's bookkeeping against the
+// capacities and the programmed share vector: occupancies are
+// non-negative, the per-structure totals equal the per-thread sums and
+// fit the capacity, limits lie in [1, size], and — when a share vector is
+// in force — the shares respect MinShare, sum exactly to the rename file
+// size, and the limit registers match the recorded derivation
+// (proportional or rename-only). It returns the first violation found.
+func (t *Table) CheckConservation() error {
+	for k := Kind(0); k < NumKinds; k++ {
+		sum := 0
+		for th := 0; th < t.threads; th++ {
+			occ, lim := t.occ[t.idx(th, k)], t.limit[t.idx(th, k)]
+			if occ < 0 {
+				return fmt.Errorf("resource: thread %d %v occupancy %d is negative", th, k, occ)
+			}
+			if lim < 1 || lim > t.sizes[k] {
+				return fmt.Errorf("resource: thread %d %v limit %d outside [1, %d]", th, k, lim, t.sizes[k])
+			}
+			sum += occ
+		}
+		if sum != t.total[k] {
+			return fmt.Errorf("resource: %v total occupancy %d, per-thread sum %d", k, t.total[k], sum)
+		}
+		if t.total[k] > t.sizes[k] {
+			return fmt.Errorf("resource: %v total occupancy %d exceeds capacity %d", k, t.total[k], t.sizes[k])
+		}
+	}
+	if t.mode == modeNone {
+		return nil
+	}
+	if len(t.shares) != t.threads {
+		return fmt.Errorf("resource: %d programmed shares for %d threads", len(t.shares), t.threads)
+	}
+	renameTotal := t.sizes[IntRename]
+	if got := t.shares.Sum(); got != renameTotal {
+		return fmt.Errorf("resource: programmed shares sum to %d, rename file holds %d", got, renameTotal)
+	}
+	for th, share := range t.shares {
+		if share < MinShare {
+			return fmt.Errorf("resource: thread %d share %d below MinShare %d", th, share, MinShare)
+		}
+		if lim := t.limit[t.idx(th, IntRename)]; lim != share {
+			return fmt.Errorf("resource: thread %d rename limit %d does not match share %d", th, lim, share)
+		}
+		wantIQ, wantROB := t.sizes[IntIQ], t.sizes[ROB]
+		if t.mode == modeProportional {
+			wantIQ = proportional(share, renameTotal, t.sizes[IntIQ])
+			wantROB = proportional(share, renameTotal, t.sizes[ROB])
+		}
+		if lim := t.limit[t.idx(th, IntIQ)]; lim != wantIQ {
+			return fmt.Errorf("resource: thread %d int-iq limit %d, share derivation says %d", th, lim, wantIQ)
+		}
+		if lim := t.limit[t.idx(th, ROB)]; lim != wantROB {
+			return fmt.Errorf("resource: thread %d rob limit %d, share derivation says %d", th, lim, wantROB)
+		}
+	}
+	return nil
 }

@@ -244,3 +244,63 @@ func TestSetSharesPanicsOnWrongLength(t *testing.T) {
 	}()
 	tab.SetShares(Shares{256})
 }
+
+func TestCheckConservation(t *testing.T) {
+	tab := NewTable(2, DefaultSizes())
+	if err := tab.CheckConservation(); err != nil {
+		t.Fatalf("fresh table fails conservation: %v", err)
+	}
+	if _, ok := tab.ProgrammedShares(); ok {
+		t.Fatal("fresh table reports programmed shares")
+	}
+
+	v := tab.Version()
+	tab.SetShares(EqualShares(2, 256))
+	if tab.Version() == v {
+		t.Fatal("SetShares did not bump the version")
+	}
+	if err := tab.CheckConservation(); err != nil {
+		t.Fatalf("equal shares fail conservation: %v", err)
+	}
+	got, ok := tab.ProgrammedShares()
+	if !ok || got.Sum() != 256 {
+		t.Fatalf("ProgrammedShares = %v, %v", got, ok)
+	}
+
+	// A short share vector must be reported.
+	tab.SetShares(Shares{120, 120})
+	if err := tab.CheckConservation(); err == nil {
+		t.Fatal("short share vector passed conservation")
+	}
+
+	// A share below MinShare must be reported.
+	tab.SetShares(Shares{256 - 4, 4})
+	if err := tab.CheckConservation(); err == nil {
+		t.Fatal("sub-MinShare share passed conservation")
+	}
+
+	// Direct limit programming leaves share checks out of force.
+	tab.SetLimit(0, IntIQ, 40)
+	if err := tab.CheckConservation(); err != nil {
+		t.Fatalf("direct limits fail conservation: %v", err)
+	}
+	if _, ok := tab.ProgrammedShares(); ok {
+		t.Fatal("SetLimit left stale programmed shares in force")
+	}
+
+	// Rename-only programming keeps IQ/ROB at capacity.
+	tab.SetSharesRenameOnly(EqualShares(2, 256))
+	if err := tab.CheckConservation(); err != nil {
+		t.Fatalf("rename-only shares fail conservation: %v", err)
+	}
+	if tab.Limit(0, ROB) != DefaultSizes()[ROB] {
+		t.Fatalf("rename-only left ROB limit %d", tab.Limit(0, ROB))
+	}
+
+	// A mutilated limit register under share programming is caught.
+	tab.SetShares(EqualShares(2, 256))
+	tab.limit[tab.idx(1, ROB)]--
+	if err := tab.CheckConservation(); err == nil {
+		t.Fatal("tampered ROB limit passed conservation")
+	}
+}

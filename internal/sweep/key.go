@@ -1,0 +1,40 @@
+package sweep
+
+import (
+	"sort"
+	"strings"
+)
+
+// KeyFrom builds a canonical job key from a prefix and a parameter map.
+// Parameters are emitted as "|name=value" in sorted name order, so the
+// key is independent of map insertion (and therefore iteration) order —
+// the property the content-addressed result cache depends on. The
+// separator characters '%', '|', and '=' are percent-escaped in names
+// and values, so distinct parameter maps can never collide on one key.
+func KeyFrom(prefix string, params map[string]string) string {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(prefix)
+	for _, n := range names {
+		b.WriteByte('|')
+		b.WriteString(escapeKeyPart(n))
+		b.WriteByte('=')
+		b.WriteString(escapeKeyPart(params[n]))
+	}
+	return b.String()
+}
+
+// escapeKeyPart makes a string safe to embed between KeyFrom's '|' and
+// '=' separators. '%' must be escaped first so escapes stay reversible.
+func escapeKeyPart(s string) string {
+	if !strings.ContainsAny(s, "%|=") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "|", "%7C")
+	return strings.ReplaceAll(s, "=", "%3D")
+}

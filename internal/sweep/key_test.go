@@ -1,0 +1,59 @@
+package sweep
+
+import "testing"
+
+// TestKeyFromInsertionOrder checks the determinism property the result
+// cache depends on: the same logical parameter set yields the same key
+// no matter what order the map was built in.
+func TestKeyFromInsertionOrder(t *testing.T) {
+	build := func(order []string) string {
+		m := map[string]string{}
+		for _, k := range order {
+			switch k {
+			case "wl":
+				m["wl"] = "art-mcf"
+			case "pol":
+				m["pol"] = "ICOUNT"
+			case "es":
+				m["es"] = "65536"
+			case "ep":
+				m["ep"] = "50"
+			}
+		}
+		return KeyFrom("v3|baseline", m)
+	}
+	want := build([]string{"wl", "pol", "es", "ep"})
+	orders := [][]string{
+		{"ep", "es", "pol", "wl"},
+		{"pol", "wl", "ep", "es"},
+		{"es", "ep", "wl", "pol"},
+	}
+	// Go randomises map iteration per run; repeat to exercise different
+	// internal orders as well as different insertion orders.
+	for i := 0; i < 32; i++ {
+		for _, o := range orders {
+			if got := build(o); got != want {
+				t.Fatalf("insertion order %v gave %q, want %q", o, got, want)
+			}
+		}
+	}
+	if want != "v3|baseline|ep=50|es=65536|pol=ICOUNT|wl=art-mcf" {
+		t.Errorf("canonical form changed: %q", want)
+	}
+}
+
+// TestKeyFromEscaping checks that separator characters in names or
+// values cannot make two distinct parameter sets collide.
+func TestKeyFromEscaping(t *testing.T) {
+	a := KeyFrom("p", map[string]string{"a": "b|c=d"})
+	b := KeyFrom("p", map[string]string{"a": "b", "c": "d"})
+	if a == b {
+		t.Fatalf("escaping failed: %q collides", a)
+	}
+	if got := KeyFrom("p", map[string]string{"x%": "50%"}); got != "p|x%25=50%25" {
+		t.Errorf("percent escaping: %q", got)
+	}
+	if got := KeyFrom("p", nil); got != "p" {
+		t.Errorf("empty params: %q", got)
+	}
+}

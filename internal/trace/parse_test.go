@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smthill/internal/isa"
+)
+
+func TestParseProfileBasic(t *testing.T) {
+	p, err := ParseProfile(`
+# comment line
+name=demo seed=42 kind=high seglen=60000 blocks=96 blocklen=12
+a.load=0.25 a.branch=0.15 a.ws=16384
+b.load=0.4 b.chase=0.6 b.chains=3 # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || p.Seed != 42 || p.Kind != PhaseHigh {
+		t.Errorf("structural fields wrong: %+v", p)
+	}
+	if p.SegLen != 60000 || p.Blocks != 96 || p.BlockLen != 12 {
+		t.Errorf("shape fields wrong: %+v", p)
+	}
+	if p.A.FracLoad != 0.25 || p.A.FracBranch != 0.15 || p.A.WorkingSet != 16384 {
+		t.Errorf("pole a wrong: %+v", p.A)
+	}
+	if p.B.FracLoad != 0.4 || p.B.PointerChase != 0.6 || p.B.ChaseChains != 3 {
+		t.Errorf("pole b wrong: %+v", p.B)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"load 0.5", "not key=value"},
+		{"=0.5", "empty key"},
+		{"a.load=", "empty key or value"},
+		{"seed=1 seed=2", "duplicate key"},
+		{"seed=banana", "seed"},
+		{"kind=medium", "not no|high|low"},
+		{"blocks=-1", "outside"},
+		{"blocks=100000", "outside"},
+		{"c.load=0.5", "unknown key"},
+		{"a.bogus=0.5", "unknown parameter"},
+		{"a.load=1.5", "not a fraction"},
+		{"a.load=-0.5", "non-negative"},
+		{"a.load=NaN", "finite"},
+		{"a.chain=Inf", "finite"},
+		{"a.load=0.5 a.store=0.4 a.branch=0.2", "must be < 1"},
+		{"a.burstlen=99999", "unreasonably large"},
+	}
+	for _, c := range cases {
+		if _, err := ParseProfile(c.in); err == nil {
+			t.Errorf("ParseProfile(%q) succeeded, want error containing %q", c.in, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseProfile(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestSpecRoundTrip checks the documented contract: for any parsed
+// profile p, ParseProfile(p.Spec()) == p.
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"name=x",
+		"seed=18446744073709551615",
+		"kind=low seglen=1",
+		"a.load=0.33333333333333331 a.addrready=0.6",
+		"b.ws=18446744073709551615 b.stride=4096",
+		"name=full seed=9 kind=high seglen=123 blocks=65536 blocklen=4096 " +
+			"a.load=0.1 a.store=0.1 a.branch=0.1 a.fp=0.1 a.muldiv=0.1 a.chain=0.1 " +
+			"a.ws=7 a.stridepct=0.5 a.stride=3 a.chase=0.5 a.chains=12 " +
+			"a.burstprob=0.5 a.burstlen=10000 a.noise=0.5 a.addrready=0.5 " +
+			"b.load=0.9 b.chase=1",
+	}
+	for _, s := range specs {
+		p, err := ParseProfile(s)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", s, err)
+		}
+		q, err := ParseProfile(p.Spec())
+		if err != nil {
+			t.Fatalf("reparse of Spec %q: %v", p.Spec(), err)
+		}
+		if q != p {
+			t.Errorf("round trip of %q changed the profile:\n  spec %q\n  got  %+v\n  want %+v", s, p.Spec(), q, p)
+		}
+	}
+}
+
+// TestParseTestdataProfiles parses every seed profile, round-trips it,
+// and generates a few instructions from it.
+func TestParseTestdataProfiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.profile"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata profiles (err=%v)", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParseProfile(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if q, err := ParseProfile(p.Spec()); err != nil || q != p {
+			t.Errorf("%s: Spec round trip failed (err=%v)", f, err)
+		}
+		g := New(p)
+		var in isa.Inst
+		for i := 0; i < 256; i++ {
+			if !g.Next(&in) {
+				t.Fatalf("%s: stream ended at %d", f, i)
+			}
+		}
+	}
+}
+
+// FuzzParseTrace fuzzes the profile parser. Accepted inputs must
+// round-trip through Spec exactly, and the generator built from them
+// must be deterministic: two independent generators over the same parsed
+// profile produce identical instruction streams.
+func FuzzParseTrace(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.profile"))
+	for _, fn := range files {
+		if data, err := os.ReadFile(fn); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add("name=x seed=1 a.load=0.3")
+	f.Add("kind=low seglen=100 blocks=4 blocklen=2 b.chase=1 b.chains=12")
+	f.Add("a.load=0.5 a.store=0.4 a.branch=0.2") // invalid: fractions sum >= 1
+	f.Add("seed=1 seed=2")                       // invalid: duplicate key
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProfile(s)
+		if err != nil {
+			return
+		}
+		spec := p.Spec()
+		q, err := ParseProfile(spec)
+		if err != nil {
+			t.Fatalf("Spec %q of accepted input %q does not reparse: %v", spec, s, err)
+		}
+		if q != p {
+			t.Fatalf("Spec round trip changed the profile: %q -> %+v vs %+v", s, q, p)
+		}
+		g1, g2 := New(p), New(p)
+		var a, b isa.Inst
+		for i := 0; i < 64; i++ {
+			ok1, ok2 := g1.Next(&a), g2.Next(&b)
+			if ok1 != ok2 || a != b {
+				t.Fatalf("generator nondeterministic at inst %d for %q: %+v vs %+v", i, s, a, b)
+			}
+			if !ok1 {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,6 @@
+# A high-ILP model: cache-resident working set, mostly strided access,
+# shallow dependence chains.
+name=ilplike seed=7
+a.load=0.26 a.store=0.1 a.branch=0.14 a.fp=0.3 a.muldiv=0.05
+a.chain=0.25 a.ws=24576 a.stridepct=0.9 a.stride=8
+a.noise=0.01 a.addrready=0.8

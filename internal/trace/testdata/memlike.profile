@@ -1,0 +1,8 @@
+# A memory-intensive model: large working set, pointer chasing, and
+# long-latency miss bursts, in the style of the paper's art/mcf class.
+name=memlike seed=42 seglen=80000
+a.load=0.34 a.store=0.12 a.branch=0.12
+a.ws=4194304 a.stridepct=0.2 a.stride=64
+a.chase=0.5 a.chains=2
+a.burstprob=0.08 a.burstlen=4
+a.noise=0.02 a.addrready=0.5

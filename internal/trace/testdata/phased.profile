@@ -1,0 +1,5 @@
+# A high-frequency phased model alternating between a compute pole (a)
+# and a memory pole (b) every segment.
+name=phased seed=99 kind=high seglen=60000 blocks=96 blocklen=12
+a.load=0.25 a.branch=0.15 a.ws=16384 a.stridepct=0.95
+b.load=0.4 b.store=0.1 b.branch=0.1 b.ws=8388608 b.chase=0.6 b.chains=3

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"smthill/internal/trace"
+)
+
+// maxParseThreads bounds the context count a parsed workload may request;
+// it mirrors the pipeline's hardware-context ceiling so errors surface at
+// parse time instead of as a machine-construction panic.
+const maxParseThreads = 16
+
+// Parse resolves a workload specification without panicking: either a
+// Table 3 workload name ("art-mcf") or a comma-separated list of catalog
+// application names ("art,gzip,mcf,bzip2"; a single name runs one
+// thread). Unknown names produce an error listing the valid choices, so
+// command-line typos fail with guidance instead of a stack trace.
+func Parse(spec string) (Workload, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Workload{}, fmt.Errorf("workload: empty specification")
+	}
+	if !strings.Contains(spec, ",") {
+		for _, w := range All() {
+			if w.Name() == spec {
+				return w, nil
+			}
+		}
+	}
+	cat := Catalog()
+	apps := strings.Split(spec, ",")
+	if len(apps) > maxParseThreads {
+		return Workload{}, fmt.Errorf("workload: %d applications exceed the %d-context machine", len(apps), maxParseThreads)
+	}
+	for _, a := range apps {
+		if _, ok := cat[a]; !ok {
+			return Workload{}, fmt.Errorf("workload: unknown name %q; valid workloads are Table 3 names (e.g. %s) and comma-separated lists of applications: %s",
+				a, All()[0].Name(), strings.Join(Names(), " "))
+		}
+	}
+	group := "custom"
+	if len(apps) == 1 {
+		group = "solo"
+	}
+	return Workload{Apps: apps, Group: group}, nil
+}
+
+// Custom builds a workload directly from application profiles, bypassing
+// the catalog — the hook for running externally authored .profile models
+// (see trace.ParseProfile) on the standard machine configuration. The
+// workload's Apps take the profile names.
+func Custom(profiles []trace.Profile) (Workload, error) {
+	if len(profiles) == 0 {
+		return Workload{}, fmt.Errorf("workload: no profiles")
+	}
+	if len(profiles) > maxParseThreads {
+		return Workload{}, fmt.Errorf("workload: %d profiles exceed the %d-context machine", len(profiles), maxParseThreads)
+	}
+	w := Workload{Group: "custom", profiles: append([]trace.Profile(nil), profiles...)}
+	for i, p := range profiles {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("app%d", i)
+		}
+		w.Apps = append(w.Apps, name)
+	}
+	return w, nil
+}

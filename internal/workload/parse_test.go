@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"smthill/internal/isa"
+	"smthill/internal/trace"
+)
+
+func TestParseTable3Name(t *testing.T) {
+	w, err := Parse("art-mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Group != "MEM2" || !reflect.DeepEqual(w.Apps, []string{"art", "mcf"}) {
+		t.Errorf("Parse(art-mcf) = %+v", w)
+	}
+}
+
+func TestParseAppList(t *testing.T) {
+	w, err := Parse("art,gzip,mcf,bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Threads() != 4 || w.Group != "custom" {
+		t.Errorf("Parse list = %+v", w)
+	}
+	if got := len(w.Profiles()); got != 4 {
+		t.Errorf("Profiles() returned %d entries", got)
+	}
+
+	solo, err := Parse("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Threads() != 1 || solo.Group != "solo" {
+		t.Errorf("Parse(mcf) = %+v", solo)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", "empty"},
+		{"  ", "empty"},
+		{"nosuch", "unknown name"},
+		{"art,nosuch", "unknown name"},
+		{"art-nosuch", "unknown name"}, // not a Table 3 name, not an app
+		{strings.Repeat("art,", 16) + "art", "exceed"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.in, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	p1, err := trace.ParseProfile("name=left seed=1 a.load=0.3 a.ws=16384")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := trace.ParseProfile("seed=2 b.load=0.4") // unnamed
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Custom([]trace.Profile{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "left-app1" {
+		t.Errorf("Name() = %q", w.Name())
+	}
+	got := w.Profiles()
+	if len(got) != 2 || got[0] != p1 || got[1] != p2 {
+		t.Errorf("Profiles() did not return the supplied profiles: %+v", got)
+	}
+	streams := w.Streams()
+	var in isa.Inst
+	for i, s := range streams {
+		if !s.Next(&in) {
+			t.Fatalf("stream %d produced nothing", i)
+		}
+	}
+
+	if _, err := Custom(nil); err == nil {
+		t.Error("Custom(nil) succeeded")
+	}
+	if _, err := Custom(make([]trace.Profile, 17)); err == nil {
+		t.Error("Custom of 17 profiles succeeded")
+	}
+}
+
+// FuzzParseWorkload fuzzes the workload-spec resolver: any accepted spec
+// must produce a runnable, deterministic workload, and parsing must be
+// stable (same spec, same workload).
+func FuzzParseWorkload(f *testing.F) {
+	f.Add("art-mcf")
+	f.Add("gzip-bzip2")
+	f.Add("art,gzip,mcf,bzip2")
+	f.Add("mcf")
+	f.Add("")
+	f.Add("nosuch")
+	f.Add("art,,gzip")
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if w.Threads() < 1 || w.Threads() > 16 {
+			t.Fatalf("Parse(%q) accepted %d threads", s, w.Threads())
+		}
+		if len(w.Profiles()) != w.Threads() {
+			t.Fatalf("Parse(%q): %d profiles for %d threads", s, len(w.Profiles()), w.Threads())
+		}
+		again, err := Parse(s)
+		if err != nil || !reflect.DeepEqual(again, w) {
+			t.Fatalf("Parse(%q) not stable: %+v vs %+v (err=%v)", s, again, w, err)
+		}
+	})
+}

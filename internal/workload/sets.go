@@ -14,6 +14,10 @@ type Workload struct {
 	Apps []string
 	// Group is the Table 3 group label ("ILP2", "MIX4", ...).
 	Group string
+
+	// profiles, when non-nil, overrides the catalog lookup with directly
+	// supplied application models (built by Custom).
+	profiles []trace.Profile
 }
 
 // Name returns the paper's hyphenated workload name, e.g. "art-mcf".
@@ -22,8 +26,13 @@ func (w Workload) Name() string { return strings.Join(w.Apps, "-") }
 // Threads returns the hardware context count the workload needs.
 func (w Workload) Threads() int { return len(w.Apps) }
 
-// Profiles returns the member application profiles in context order.
+// Profiles returns the member application profiles in context order:
+// directly supplied models for a Custom workload, catalog lookups
+// otherwise.
 func (w Workload) Profiles() []trace.Profile {
+	if w.profiles != nil {
+		return append([]trace.Profile(nil), w.profiles...)
+	}
 	out := make([]trace.Profile, len(w.Apps))
 	for i, n := range w.Apps {
 		out[i] = Get(n).Profile
