@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race benchsmoke fuzzsmoke profile
+.PHONY: ci vet lint build test race serve-smoke benchsmoke fuzzsmoke profile
 
 # ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
 # build everything, the full test suite under the race detector
 # (internal/sweep's pool tests are the concurrency canary — see
-# TestWorkerPoolConcurrency), one iteration of the telemetry overhead
-# benchmarks so a hot-loop regression fails loudly, and a short fuzz
-# smoke over the text-format parsers.
-ci: vet lint build race benchsmoke fuzzsmoke
+# TestWorkerPoolConcurrency; internal/serve's daemon tests exercise the
+# queue/SSE/shutdown paths), the process-level daemon smoke, one
+# iteration of the telemetry overhead benchmarks so a hot-loop
+# regression fails loudly, and a short fuzz smoke over the text-format
+# parsers.
+ci: vet lint build race serve-smoke benchsmoke fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +28,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# serve-smoke builds the real smtserved binary, starts it on a random
+# port, drives a job over HTTP, and requires a clean SIGTERM drain —
+# the end-to-end check behind the service layer (see DESIGN.md).
+# -count=1 forces a live run even when the package is cached.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./cmd/smtserved
 
 # benchsmoke runs the machine-speed benchmarks once — not a timing gate,
 # just proof they still compile and complete.

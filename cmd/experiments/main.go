@@ -15,38 +15,24 @@
 // internal/sweep worker pool: -j bounds the parallelism, -cache-dir
 // persists results across invocations, and -progress reports per-job
 // completion on stderr. Output is byte-identical for any -j and cache
-// state.
+// state. Ctrl-C (or SIGTERM) cancels the in-flight sweep cleanly: workers
+// drain, the disk cache keeps only complete entries, and the process
+// exits non-zero.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"sort"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"smthill/internal/experiment"
-	"smthill/internal/pipeline"
-	"smthill/internal/resource"
 	"smthill/internal/sweep"
 	"smthill/internal/telemetry"
-	"smthill/internal/workload"
 )
-
-// experimentNames lists every runnable experiment, in "all" order.
-var experimentNames = []string{
-	"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig7",
-	"fig9", "fig10", "fig11", "fig12", "qual", "sec5",
-}
-
-// options carries the non-scaling flags into run.
-type options struct {
-	subset   string
-	fig12wl  string
-	jsonRows bool
-}
 
 func main() {
 	var (
@@ -70,82 +56,103 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *pprofAddr != "" {
-		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+	// exit runs deferred cleanups (profile writers, sink flushes) before
+	// exiting: main wraps the real work so os.Exit never skips a defer.
+	os.Exit(run(flag.Args(), *epochs, *stride, *paper, *loadsFlag, *wl, *jobs,
+		*cacheDir, *progress, *jsonRows, *trace, *pprofAddr, *cpuprofile, *memprofile))
+}
+
+func run(args []string, epochs, stride int, paper bool, loadsFlag, wl string,
+	jobs int, cacheDir string, progress, jsonRows bool,
+	trace, pprofAddr, cpuprofile, memprofile string) int {
+	// Ctrl-C / SIGTERM cancels the sweep context: in-flight simulations
+	// finish or stop at their next epoch boundary, queued ones are
+	// skipped, and only complete results were (atomically) written to the
+	// disk cache.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	experiment.SetContext(ctx)
+
+	if pprofAddr != "" {
+		if err := telemetry.ServePprof(pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *cpuprofile != "" {
-		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+	if cpuprofile != "" {
+		stopProf, err := telemetry.StartCPUProfile(cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
-			if err := stop(); err != nil {
+			if err := stopProf(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
 	}
-	if *memprofile != "" {
+	if memprofile != "" {
 		defer func() {
-			if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
+			if err := telemetry.WriteHeapProfile(memprofile); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
 	}
 
 	cfg := experiment.Default()
-	if *paper {
+	if paper {
 		cfg = experiment.Paper()
 	}
-	if *epochs > 0 {
-		cfg.Epochs = *epochs
+	if epochs > 0 {
+		cfg.Epochs = epochs
 	}
-	if *stride > 0 {
-		cfg.OffLineStride = *stride
+	if stride > 0 {
+		cfg.OffLineStride = stride
 	}
 
-	eng := sweep.NewEngine(*jobs)
-	if *cacheDir != "" {
-		c, err := sweep.NewCache(*cacheDir)
+	eng := sweep.NewEngine(jobs)
+	if cacheDir != "" {
+		c, err := sweep.NewCache(cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
+		c.SetLogf(func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		})
 		eng.SetCache(c)
 	}
-	var observers []func(sweep.Event)
-	if *progress {
-		observers = append(observers, sweep.NewReporter(os.Stderr).Observe)
+	if progress {
+		eng.AddObserver(sweep.NewReporter(os.Stderr).Observe)
 	}
 
 	var meter *sweep.Meter
 	var closeSink func() error
-	if *trace != "" {
-		sink, closer, err := telemetry.OpenSink(*trace)
+	if trace != "" {
+		sink, closer, err := telemetry.OpenSink(trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		closeSink = closer
 		experiment.SetTelemetry(sink)
 		meter = sweep.NewMeter(sink, eng.Workers())
-		observers = append(observers, meter.Observe)
-	}
-	if len(observers) > 0 {
-		eng.SetObserver(func(ev sweep.Event) {
-			for _, o := range observers {
-				o(ev)
-			}
-		})
+		eng.AddObserver(meter.Observe)
 	}
 	experiment.SetEngine(eng)
 
-	opts := options{subset: *loadsFlag, fig12wl: *wl, jsonRows: *jsonRows}
-	for _, name := range flag.Args() {
-		run(cfg, name, opts)
+	opts := experiment.RunOptions{Workloads: loadsFlag, Fig12Workload: wl, JSONRows: jsonRows}
+	code := 0
+	for _, name := range args {
+		if err := experiment.RunNamed(cfg, name, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) {
+				code = 130 // interrupted: the conventional 128+SIGINT
+			} else {
+				code = 2
+			}
+			break
+		}
 	}
 
 	if meter != nil {
@@ -154,219 +161,10 @@ func main() {
 	if closeSink != nil {
 		if err := closeSink(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}
-}
-
-// pick resolves a comma-separated workload subset, or returns def when
-// empty. Unknown names error with the full list of valid ones.
-func pick(subset string, def []workload.Workload) ([]workload.Workload, error) {
-	if subset == "" {
-		return def, nil
-	}
-	byName := map[string]workload.Workload{}
-	names := make([]string, 0, len(workload.All()))
-	for _, w := range workload.All() {
-		byName[w.Name()] = w
-		names = append(names, w.Name())
-	}
-	var out []workload.Workload
-	for _, n := range splitComma(subset) {
-		w, ok := byName[n]
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q; valid workloads:\n  %s",
-				n, strings.Join(names, "\n  "))
-		}
-		out = append(out, w)
-	}
-	return out, nil
-}
-
-// mustPick is pick for main's code paths: print and exit on bad names.
-func mustPick(subset string, def []workload.Workload) []workload.Workload {
-	out, err := pick(subset, def)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	return out
-}
-
-// splitComma splits a comma-separated list, dropping empty elements.
-func splitComma(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-func run(cfg experiment.Config, name string, opts options) {
-	out := os.Stdout
-	switch name {
-	case "table1":
-		writeTable1(cfg)
-	case "table2":
-		fmt.Fprintln(out, "== Table 2: application characterisation ==")
-		experiment.WriteTable2(out, experiment.Table2(cfg))
-	case "table3":
-		fmt.Fprintln(out, "== Table 3: multiprogrammed workloads ==")
-		experiment.WriteTable3(out, experiment.Table3())
-	case "fig2":
-		fmt.Fprintln(out, "== Figure 2: IPC vs resource distribution (mesa/vortex/fma3d) ==")
-		experiment.WriteFigure2(out, experiment.Figure2(cfg, 16))
-	case "fig4":
-		rows := experiment.Figure4(cfg, mustPick(opts.subset, workload.TwoThread()))
-		if opts.jsonRows {
-			writeCompareJSON(out, "fig4", rows)
-			return
-		}
-		fmt.Fprintln(out, "== Figure 4: OFF-LINE vs ICOUNT/FLUSH/DCRA (2-thread, weighted IPC) ==")
-		experiment.WriteCompare(out, rows)
-		for _, b := range []string{"ICOUNT", "FLUSH", "DCRA"} {
-			fmt.Fprintf(out, "OFF-LINE gain over %s: %+.1f%%\n", b, 100*experiment.Gains(rows, "OFF-LINE", b))
-		}
-	case "fig5":
-		fmt.Fprintln(out, "== Figure 5: synchronized time-varying performance (art-mcf) ==")
-		rows := experiment.Figure5(cfg, workload.ByName("art-mcf"))
-		experiment.WriteFigure5(out, rows)
-		wins := experiment.WinFractions(rows)
-		baselines := make([]string, 0, len(wins))
-		for b := range wins {
-			baselines = append(baselines, b)
-		}
-		sort.Strings(baselines)
-		for _, b := range baselines {
-			fmt.Fprintf(out, "OFF-LINE >= %s in %.1f%% of epochs\n", b, 100*wins[b])
-		}
-	case "fig7":
-		fmt.Fprintln(out, "== Figures 6/7: hill-width analysis (2-thread) ==")
-		experiment.WriteHillWidths(out, experiment.HillWidths(cfg, mustPick(opts.subset, workload.TwoThread())))
-	case "fig9":
-		rows := experiment.Figure9(cfg, mustPick(opts.subset, workload.All()))
-		if opts.jsonRows {
-			writeCompareJSON(out, "fig9", rows)
-			return
-		}
-		fmt.Fprintln(out, "== Figure 9: HILL-WIPC vs ICOUNT/FLUSH/DCRA (42 workloads) ==")
-		experiment.WriteCompare(out, rows)
-		for _, b := range []string{"ICOUNT", "FLUSH", "DCRA"} {
-			fmt.Fprintf(out, "HILL gain over %s: %+.1f%%\n", b, 100*experiment.Gains(rows, "HILL", b))
-		}
-	case "fig10":
-		fmt.Fprintln(out, "== Figure 10: metric matrix by workload group ==")
-		cells := experiment.Figure10(cfg, mustPick(opts.subset, workload.All()))
-		experiment.WriteFigure10(out, cells)
-		fmt.Fprintf(out, "matched-metric advantage: %+.1f%%\n", 100*experiment.MatchedMetricAdvantage(cells))
-	case "fig11":
-		top := experiment.Figure11TwoThread(cfg, mustPick(opts.subset, workload.TwoThread()))
-		bottom := experiment.Figure11FourThread(cfg, mustPick(opts.subset, workload.FourThread()))
-		if opts.jsonRows {
-			writeFigure11JSON(out, "fig11-2t", top)
-			writeFigure11JSON(out, "fig11-4t", bottom)
-			return
-		}
-		fmt.Fprintln(out, "== Figure 11 (top): HILL-WIPC vs OFF-LINE, 2-thread ==")
-		experiment.WriteFigure11(out, top)
-		fmt.Fprintf(out, "HILL-WIPC achieves %.1f%% of OFF-LINE\n", 100*experiment.FractionOfIdeal(top, "OFF-LINE"))
-		fmt.Fprintln(out, "== Figure 11 (bottom): DCRA vs HILL-WIPC vs RAND-HILL, 4-thread ==")
-		experiment.WriteFigure11(out, bottom)
-		fmt.Fprintf(out, "HILL-WIPC achieves %.1f%% of RAND-HILL\n", 100*experiment.FractionOfIdeal(bottom, "RAND-HILL"))
-		fmt.Fprintf(out, "RAND-HILL gain over DCRA: %+.1f%%\n", 100*fig11Gain(bottom))
-	case "fig12":
-		fmt.Fprintf(out, "== Figure 12: time-varying behaviour (%s) ==\n", opts.fig12wl)
-		rows := experiment.Figure12(cfg, workload.ByName(opts.fig12wl))
-		experiment.WriteFigure12(out, rows)
-		dist, frac := experiment.TrackingError(rows, cfg.OffLineStride)
-		fmt.Fprintf(out, "mean |HILL-BEST| = %.1f regs; HILL achieves %.1f%% of per-epoch ideal\n", dist, 100*frac)
-	case "qual":
-		fmt.Fprintln(out, "== Section 3.3.2: qualitative analysis scenarios ==")
-		experiment.WriteQualitative(out, experiment.Qualitative(cfg))
-	case "sec5":
-		fmt.Fprintln(out, "== Section 5: phase detection and prediction ==")
-		experiment.WriteSection5(out, experiment.Section5(cfg, mustPick(opts.subset, workload.All())))
-	case "all":
-		for _, n := range experimentNames {
-			run(cfg, n, opts)
-			fmt.Fprintln(out)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments:\n  %s\n",
-			name, strings.Join(append(append([]string{}, experimentNames...), "all"), " "))
-		os.Exit(2)
-	}
-}
-
-// jsonRow is the -json line format for the compare-style experiments,
-// feeding bench-trajectory tooling. Derived/Predicted appear only for
-// fig11 rows.
-type jsonRow struct {
-	Experiment string             `json:"experiment"`
-	Workload   string             `json:"workload"`
-	Group      string             `json:"group"`
-	Scores     map[string]float64 `json:"scores"`
-	Derived    string             `json:"derived,omitempty"`
-	Predicted  string             `json:"predicted,omitempty"`
-}
-
-func writeCompareJSON(w io.Writer, name string, rows []experiment.CompareRow) {
-	enc := json.NewEncoder(w)
-	for _, r := range rows {
-		if err := enc.Encode(jsonRow{
-			Experiment: name, Workload: r.Workload, Group: r.Group, Scores: r.Scores,
-		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-}
-
-func writeFigure11JSON(w io.Writer, name string, rows []experiment.Figure11Row) {
-	enc := json.NewEncoder(w)
-	for _, r := range rows {
-		if err := enc.Encode(jsonRow{
-			Experiment: name, Workload: r.Workload, Group: r.Group, Scores: r.Scores,
-			Derived: r.Derived, Predicted: r.Predicted,
-		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-}
-
-func fig11Gain(rows []experiment.Figure11Row) float64 {
-	sum, n := 0.0, 0
-	for _, r := range rows {
-		if d := r.Scores["DCRA"]; d > 0 {
-			sum += r.Scores["RAND-HILL"]/d - 1
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
-}
-
-func writeTable1(cfg experiment.Config) {
-	c := pipeline.DefaultConfig(2)
-	fmt.Println("== Table 1: SMT simulator settings ==")
-	fmt.Printf("Bandwidth          %d-Fetch, %d-Issue, %d-Commit\n", c.FetchWidth, c.IssueWidth, c.CommitWidth)
-	fmt.Printf("Queue size         %d-IFQ/thread, %d-Int IQ, %d-FP IQ, %d-LSQ\n",
-		c.IFQSize, c.Resources[resource.IntIQ], c.Resources[resource.FpIQ], c.Resources[resource.LSQ])
-	fmt.Printf("Rename reg / ROB   %d-Int, %d-FP / %d entry\n",
-		c.Resources[resource.IntRename], c.Resources[resource.FpRename], c.Resources[resource.ROB])
-	fmt.Printf("Functional units   %d-Int Add, %d-Int Mul/Div, %d-Mem Port, %d-FP Add, %d-FP Mul/Div\n",
-		c.FUs.IntAlu, c.FUs.IntMul, c.FUs.MemPorts, c.FUs.FpAlu, c.FUs.FpMul)
-	fmt.Printf("Branch predictor   hybrid %d-entry gshare / %d-entry bimodal, %d meta, %dx%d BTB, %d RAS\n",
-		c.Bpred.GshareEntries, c.Bpred.BimodalEntries, c.Bpred.MetaEntries, c.Bpred.BTBSets, c.Bpred.BTBWays, c.Bpred.RASEntries)
-	fmt.Printf("IL1/DL1            %dKB, %dB block, %d-way, %d-cycle\n",
-		c.Mem.IL1.SizeBytes>>10, c.Mem.IL1.BlockSize, c.Mem.IL1.Ways, c.Mem.IL1.Latency)
-	fmt.Printf("UL2                %dMB, %dB block, %d-way, %d-cycle\n",
-		c.Mem.UL2.SizeBytes>>20, c.Mem.UL2.BlockSize, c.Mem.UL2.Ways, c.Mem.UL2.Latency)
-	fmt.Printf("Memory             %d-cycle first chunk, %d-cycle inter-chunk\n", c.Mem.MemFirst, c.Mem.MemInter)
-	fmt.Printf("Epoch              %d cycles; mispredict penalty %d cycles\n", cfg.EpochSize, c.MispredictPenalty)
+	return code
 }

@@ -1,0 +1,121 @@
+// Command smtserved runs the simulator as an HTTP service.
+//
+// Usage:
+//
+//	smtserved [flags]
+//	smtserved -addr :8080 -cache-dir ~/.cache/smthill -j 8
+//
+// Endpoints:
+//
+//	POST /v1/jobs                submit a simulation (JSON simjob.Spec)
+//	GET  /v1/jobs/{id}           job status and result
+//	GET  /v1/jobs/{id}/events    SSE progress stream (replay + live)
+//	GET  /v1/experiments/{name}  run a named experiment (table1..fig12)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                text metrics exposition
+//
+// Identical submissions share the sweep engine's memo and, with
+// -cache-dir, its content-addressed disk cache — the second client gets
+// the cached result. SIGINT/SIGTERM drains gracefully: admission stops,
+// in-flight jobs finish (up to -drain-timeout), queued jobs are
+// cancelled, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smthill/internal/experiment"
+	"smthill/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("j", 0, "job worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
+		cacheDir     = flag.String("cache-dir", "", "on-disk result cache directory (empty = in-memory memo only)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "non-streaming request timeout")
+		rate         = flag.Float64("rate", 50, "per-client requests/second on /v1 endpoints (<0 disables)")
+		burst        = flag.Int("burst", 100, "per-client burst allowance")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs")
+		paper        = flag.Bool("paper", false, "paper-scale experiment configuration (slow)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "smtserved: ", log.LstdFlags)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheDir:       *cacheDir,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		Logf:           logger.Printf,
+	}
+	if *paper {
+		cfg.Experiments = experiment.Paper()
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	// The smoke test (and humans using port 0) read the bound address
+	// off this line.
+	logger.Printf("listening on %s", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down: draining in-flight jobs (timeout %s)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v (running jobs were cancelled)", err)
+		code = 1
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if code == 0 {
+		logger.Print("drained cleanly")
+	}
+	return code
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end daemon check behind `make
+// serve-smoke`: build the real binary, start it on a random port,
+// submit a job over HTTP, watch it finish, then SIGTERM and require a
+// clean drain with exit status 0. It uses only the Go toolchain and
+// net/http — no curl, no fixed ports.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "smtserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "60s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The daemon logs its bound address; everything after is captured
+	// for the final assertions.
+	addrCh := make(chan string, 1)
+	var logs bytes.Buffer
+	logsDone := make(chan struct{})
+	go func() {
+		defer close(logsDone)
+		re := regexp.MustCompile(`listening on (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logs.WriteString(line + "\n")
+			if m := re.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address\n%s", logs.String())
+	}
+
+	// Submit a tiny job and follow it to a terminal state.
+	spec := `{"workload":"art-mcf","tech":"ICOUNT","epochs":2,"epoch_size":2048,"warmup":1}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		t.Fatalf("submit: status %d, view %+v", resp.StatusCode, view)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (last state %q)", view.ID, view.State)
+		}
+		r2, err := http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", r2.StatusCode)
+		}
+		if err := json.NewDecoder(r2.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if view.State == "done" {
+			break
+		}
+		if view.State == "failed" || view.State == "canceled" {
+			t.Fatalf("job ended %q", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Health and metrics answer while serving.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hr.StatusCode)
+	}
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(mbuf.String(), `smtserved_jobs_finished_total{state="done"} 1`) {
+		t.Fatalf("metrics missing finished job:\n%s", mbuf.String())
+	}
+
+	// SIGTERM must drain and exit 0. Stderr must hit EOF before
+	// cmd.Wait — Wait closes the pipe and would race the log scanner
+	// out of the final lines.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-logsDone:
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon hung after SIGTERM\n%s", logs.String())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, logs.String())
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain log line:\n%s", logs.String())
+	}
+	if got := cmd.ProcessState.ExitCode(); got != 0 {
+		t.Fatalf("exit code = %d, want 0", got)
+	}
+}

@@ -5,25 +5,34 @@
 // Usage:
 //
 //	smtsim -workload art-mcf -tech HILL-WIPC -epochs 50
+//	smtsim -workload art-mcf -json               # machine-readable result
 //	smtsim -workload art-mcf -trace trace.jsonl -cpuprofile cpu.out
 //	smtsim -workload art-mcf -check          # per-cycle invariant checks
 //	smtsim -workload app1.profile,app2.profile   # external models
 //
 // Techniques: ICOUNT, STALL, FLUSH, DCRA, STATIC, HILL-IPC, HILL-WIPC,
 // HILL-HWIPC, HILL-PHASE.
+//
+// The run goes through internal/simjob, the same spec/result schema the
+// smtserved daemon serves, so -json output is byte-compatible with the
+// daemon's job results. Ctrl-C / SIGTERM cancels at the next epoch
+// boundary and exits 130.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"smthill/internal/core"
-	"smthill/internal/metrics"
-	"smthill/internal/pipeline"
-	"smthill/internal/policy"
-	"smthill/internal/resource"
+	"smthill/internal/simjob"
 	"smthill/internal/telemetry"
 	"smthill/internal/trace"
 	"smthill/internal/workload"
@@ -31,13 +40,15 @@ import (
 
 func main() {
 	var (
-		wlName     = flag.String("workload", "art-mcf", "workload name from Table 3 (e.g. art-mcf), or comma-separated app names")
+		wlName     = flag.String("workload", "art-mcf", "workload name from Table 3 (e.g. art-mcf), comma-separated app names, or comma-separated .profile files")
 		tech       = flag.String("tech", "HILL-WIPC", "distribution technique")
 		epochs     = flag.Int("epochs", 50, "epochs to simulate")
 		epochSize  = flag.Int("epoch-size", core.DefaultEpochSize, "epoch length in cycles")
 		warmup     = flag.Int("warmup", 2, "warmup epochs before measurement")
 		delta      = flag.Int("delta", core.DefaultDelta, "hill-climbing step in rename registers")
-		trace      = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
+		seed       = flag.Uint64("seed", 0, "stream-seed perturbation (0 = canonical seeds)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON (the simjob/daemon schema) instead of text")
+		traceFile  = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
 		check      = flag.Bool("check", false, "run per-cycle invariant checks (resource conservation, program-order commit); panics on the first violation")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -45,44 +56,57 @@ func main() {
 	)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+	// os.Exit skips defers (profile writers, sink flushes), so main
+	// delegates to run.
+	os.Exit(run(*wlName, *tech, *epochs, *epochSize, *warmup, *delta, *seed,
+		*jsonOut, *traceFile, *check, *pprofAddr, *cpuprofile, *memprofile))
+}
+
+func run(wlName, tech string, epochs, epochSize, warmup, delta int, seed uint64,
+	jsonOut bool, traceFile string, check bool,
+	pprofAddr, cpuprofile, memprofile string) int {
+	// Ctrl-C / SIGTERM stops the run at the next epoch boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if pprofAddr != "" {
+		if err := telemetry.ServePprof(pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *cpuprofile != "" {
-		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+	if cpuprofile != "" {
+		stopProf, err := telemetry.StartCPUProfile(cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
-			if err := stop(); err != nil {
+			if err := stopProf(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
 	}
-	if *memprofile != "" {
+	if memprofile != "" {
 		defer func() {
-			if err := telemetry.WriteHeapProfile(*memprofile); err != nil {
+			if err := telemetry.WriteHeapProfile(memprofile); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
 	}
 
-	w := lookupWorkload(*wlName)
-	m, dist, feedback := build(w, *tech, *delta)
-	if *check {
-		m.SetInvariantChecks(true)
+	spec := simjob.Spec{
+		Workload: wlName, Tech: tech,
+		Epochs: epochs, EpochSize: epochSize, Warmup: warmup,
+		Delta: delta, Seed: seed,
 	}
 
 	var sink telemetry.Sink
-	if *trace != "" {
-		s, closer, err := telemetry.OpenSink(*trace)
+	if traceFile != "" {
+		s, closer, err := telemetry.OpenSink(traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			if err := closer(); err != nil {
@@ -90,119 +114,80 @@ func main() {
 			}
 		}()
 		sink = s
-		m.SetRecorder(telemetry.NewRecorder(m.Threads()))
 	}
 
-	label := w.Name() + "/" + dist.Name()
-	switch d := dist.(type) {
-	case *core.HillClimber:
-		d.Trace = sink
-		d.TraceLabel = label
-	case *core.PhaseHill:
-		d.Hill.Trace = sink
-		d.Hill.TraceLabel = label
-	}
-
-	m.CycleN(*warmup * *epochSize)
-	r := core.NewRunner(m, dist, feedback)
-	r.EpochSize = *epochSize
-	r.Trace = sink
-	r.TraceLabel = label
-	r.Run(*epochs)
-
-	ipc := r.TotalsSince(0)
-	fmt.Printf("workload %s under %s: %d epochs of %d cycles\n",
-		w.Name(), dist.Name(), *epochs, *epochSize)
-	total := 0.0
-	per := m.PerThreadStats()
-	for th, v := range ipc {
-		ts := per[th]
-		fmt.Printf("  thread %d (%-8s): IPC %6.3f | committed %9d | flushed %8d | mispredicts %7d\n",
-			th, w.Apps[th], v, ts.Committed, ts.Flushed, ts.Mispredicts)
-		total += v
-	}
-	s := m.Stats()
-	fmt.Printf("  total IPC %.3f | mispredict %.2f%% | DL1 miss %.2f%% | L2 miss %.2f%% | flushes %d\n",
-		total, 100*m.MispredictRate(),
-		100*m.Mem().DL1.Stats.MissRate(), 100*m.Mem().UL2.Stats.MissRate(), s.Flushes)
-	if last := lastShares(r); last != nil {
-		fmt.Printf("  final partitioning (rename regs): %v\n", last)
-	}
-}
-
-// lookupWorkload resolves -workload: a Table 3 name, a comma-separated
-// application list, or comma-separated .profile files (parsed with
-// trace.ParseProfile and run as a custom workload).
-func lookupWorkload(name string) workload.Workload {
-	if strings.Contains(name, ".profile") {
-		var profiles []trace.Profile
-		for _, path := range strings.Split(name, ",") {
-			data, err := os.ReadFile(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			p, err := trace.ParseProfile(string(data))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-				os.Exit(2)
-			}
-			profiles = append(profiles, p)
+	var res simjob.Result
+	var err error
+	if strings.Contains(wlName, ".profile") {
+		// External models are not nameable in a Spec; resolve them here
+		// and run through the same engine.
+		var w workload.Workload
+		w, err = profileWorkload(wlName)
+		if err == nil {
+			res, err = simjob.RunWorkload(ctx, w, spec, sink, check)
 		}
-		w, err := workload.Custom(profiles)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	} else if check {
+		// RunWorkload (not Run) so the invariant checks reach the
+		// machine; Resolve keeps -seed semantics identical.
+		var w workload.Workload
+		w, err = spec.Normalize().Resolve()
+		if err == nil {
+			res, err = simjob.RunWorkload(ctx, w, spec, sink, check)
 		}
-		return w
+	} else {
+		res, err = simjob.Run(ctx, spec, sink)
 	}
-	w, err := workload.Parse(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	return w
-}
-
-// build wires up the machine, per-cycle policy, and epoch distributor for
-// a technique name.
-func build(w workload.Workload, tech string, delta int) (*pipeline.Machine, core.Distributor, metrics.Kind) {
-	renameRegs := resource.DefaultSizes()[resource.IntRename]
-	switch tech {
-	case "ICOUNT", "STALL", "FLUSH", "DCRA":
-		m := w.NewMachine(policy.ByName(tech))
-		return m, core.None{Label: tech}, metrics.WeightedIPC
-	case "STATIC":
-		return w.NewMachine(nil), core.NewStatic(w.Threads(), renameRegs), metrics.WeightedIPC
-	case "HILL-IPC":
-		h := core.NewHillClimber(w.Threads(), renameRegs, metrics.AvgIPC)
-		h.Delta = delta
-		return w.NewMachine(nil), h, metrics.AvgIPC
-	case "HILL-WIPC":
-		h := core.NewHillClimber(w.Threads(), renameRegs, metrics.WeightedIPC)
-		h.Delta = delta
-		return w.NewMachine(nil), h, metrics.WeightedIPC
-	case "HILL-HWIPC":
-		h := core.NewHillClimber(w.Threads(), renameRegs, metrics.HmeanWeightedIPC)
-		h.Delta = delta
-		return w.NewMachine(nil), h, metrics.HmeanWeightedIPC
-	case "HILL-PHASE":
-		ph := core.NewPhaseHill(w.Threads(), renameRegs, metrics.WeightedIPC)
-		ph.Hill.Delta = delta
-		return w.NewMachine(nil), ph, metrics.WeightedIPC
-	default:
-		fmt.Fprintf(os.Stderr, "unknown technique %q\n", tech)
-		os.Exit(2)
-		return nil, nil, 0
-	}
-}
-
-func lastShares(r *core.Runner) resource.Shares {
-	res := r.Results()
-	for i := len(res) - 1; i >= 0; i-- {
-		if res[i].Shares != nil {
-			return res[i].Shares
+		if errors.Is(err, context.Canceled) {
+			return 130 // interrupted: the conventional 128+SIGINT
 		}
+		return 2
 	}
-	return nil
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	render(os.Stdout, res)
+	return 0
+}
+
+// render prints the historical human-readable report from the shared
+// result schema.
+func render(w io.Writer, res simjob.Result) {
+	fmt.Fprintf(w, "workload %s under %s: %d epochs of %d cycles\n",
+		res.Workload, res.Tech, res.Epochs, res.EpochSize)
+	for _, t := range res.Threads {
+		fmt.Fprintf(w, "  thread %d (%-8s): IPC %6.3f | committed %9d | flushed %8d | mispredicts %7d\n",
+			t.Thread, t.App, t.IPC, t.Committed, t.Flushed, t.Mispredicts)
+	}
+	fmt.Fprintf(w, "  total IPC %.3f | mispredict %.2f%% | DL1 miss %.2f%% | L2 miss %.2f%% | flushes %d\n",
+		res.TotalIPC, 100*res.MispredictRate, 100*res.DL1MissRate, 100*res.L2MissRate, res.Flushes)
+	if res.FinalShares != nil {
+		fmt.Fprintf(w, "  final partitioning (rename regs): %v\n", res.FinalShares)
+	}
+}
+
+// profileWorkload loads comma-separated .profile files as a custom
+// workload (see trace.ParseProfile for the format).
+func profileWorkload(name string) (workload.Workload, error) {
+	var profiles []trace.Profile
+	for _, path := range strings.Split(name, ",") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return workload.Workload{}, err
+		}
+		p, err := trace.ParseProfile(string(data))
+		if err != nil {
+			return workload.Workload{}, fmt.Errorf("%s: %v", path, err)
+		}
+		profiles = append(profiles, p)
+	}
+	return workload.Custom(profiles)
 }

@@ -32,11 +32,30 @@ func SetEngine(e *sweep.Engine) {
 	}
 }
 
+// runCtx cancels every experiment's simulation batches. The default is
+// never cancelled; cmd/experiments installs a signal-bound context via
+// SetContext so Ctrl-C stops in-flight sweeps cleanly (workers drain,
+// the disk cache keeps only complete, atomically written entries), and
+// the service daemon installs its shutdown context.
+var runCtx = context.Background()
+
+// SetContext installs the cancellation context used by every experiment
+// function (nil restores the default never-cancelled context). Like
+// SetEngine, it is not safe to swap concurrently with a running
+// experiment.
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx = ctx
+}
+
 // mustRun submits a batch and panics on failure. Job errors can only be
 // recovered panics from inside a simulation (or cancellation), which in
-// the pre-engine serial code would have propagated as panics too.
+// the pre-engine serial code would have propagated as panics too;
+// RunNamed converts the panic back into an error for long-lived callers.
 func mustRun[R any](jobs []sweep.Job[R]) map[string]R {
-	res, err := sweep.Run(context.Background(), engine, jobs)
+	res, err := sweep.Run(runCtx, engine, jobs)
 	if err != nil {
 		panic(err)
 	}

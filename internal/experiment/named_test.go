@@ -1,12 +1,10 @@
-package main
+package experiment
 
 import (
 	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
-
-	"smthill/internal/experiment"
 )
 
 func TestSplitComma(t *testing.T) {
@@ -32,7 +30,7 @@ func TestSplitComma(t *testing.T) {
 }
 
 func TestFig11Gain(t *testing.T) {
-	rows := []experiment.Figure11Row{
+	rows := []Figure11Row{
 		{Scores: map[string]float64{"DCRA": 1.0, "RAND-HILL": 1.1}},
 		{Scores: map[string]float64{"DCRA": 2.0, "RAND-HILL": 2.0}},
 	}
@@ -72,12 +70,14 @@ func TestPickRejectsUnknownNameWithListing(t *testing.T) {
 }
 
 func TestWriteCompareJSON(t *testing.T) {
-	rows := []experiment.CompareRow{
+	rows := []CompareRow{
 		{Workload: "a-b", Group: "MIX2", Scores: map[string]float64{"HILL": 1.25, "ICOUNT": 1.0}},
 		{Workload: "c-d", Group: "ILP2", Scores: map[string]float64{"HILL": 2.5, "ICOUNT": 2.0}},
 	}
 	var buf bytes.Buffer
-	writeCompareJSON(&buf, "fig9", rows)
+	if err := writeCompareJSON(&buf, "fig9", rows); err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
 		t.Fatalf("%d lines", len(lines))
@@ -95,12 +95,14 @@ func TestWriteCompareJSON(t *testing.T) {
 }
 
 func TestWriteFigure11JSON(t *testing.T) {
-	rows := []experiment.Figure11Row{{
+	rows := []Figure11Row{{
 		Workload: "a-b", Group: "MEM2", Derived: "LG(L)", Predicted: "TL",
 		Scores: map[string]float64{"HILL-WIPC": 1.1, "OFF-LINE": 1.2},
 	}}
 	var buf bytes.Buffer
-	writeFigure11JSON(&buf, "fig11-2t", rows)
+	if err := writeFigure11JSON(&buf, "fig11-2t", rows); err != nil {
+		t.Fatal(err)
+	}
 	var got jsonRow
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatal(err)
@@ -110,5 +112,34 @@ func TestWriteFigure11JSON(t *testing.T) {
 	}
 	if got.Scores["OFF-LINE"] != 1.2 {
 		t.Fatalf("scores = %v", got.Scores)
+	}
+}
+
+func TestRunNamedRejectsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunNamed(Default(), "fig99", RunOptions{}, &buf)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "fig9") || !strings.Contains(err.Error(), "all") {
+		t.Fatalf("error does not list valid experiments: %v", err)
+	}
+}
+
+func TestRunNamedRejectsUnknownWorkloadSubset(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunNamed(Default(), "fig4", RunOptions{Workloads: "nope"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("bad subset error = %v", err)
+	}
+}
+
+func TestRunNamedTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunNamed(Default(), "table1", RunOptions{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") || !strings.Contains(buf.String(), "Rename reg") {
+		t.Fatalf("table1 output:\n%s", buf.String())
 	}
 }

@@ -33,7 +33,7 @@ func NewNondetRule() *NondetRule {
 			"internal/cache", "internal/workload", "internal/trace",
 			"internal/resource", "internal/policy", "internal/phase",
 			"internal/metrics", "internal/stats", "internal/isa",
-			"internal/experiment",
+			"internal/experiment", "internal/simjob",
 		},
 		Allow: []string{"internal/rng", "internal/sweep", "internal/telemetry"},
 	}

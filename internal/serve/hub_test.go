@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func collect(t *testing.T, h *hub, from int) []hubEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var out []hubEvent
+	for {
+		ev, ok, err := h.next(ctx, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+		from = ev.id + 1
+	}
+}
+
+func TestHubReplayThenClose(t *testing.T) {
+	h := newHub(16)
+	h.publish("a", "1")
+	h.publish("b", "2")
+	h.close()
+	got := collect(t, h, 0)
+	if len(got) != 2 || got[0].name != "a" || got[1].name != "b" {
+		t.Fatalf("replay = %+v", got)
+	}
+	if got[0].id != 0 || got[1].id != 1 {
+		t.Fatalf("ids = %d,%d", got[0].id, got[1].id)
+	}
+}
+
+func TestHubResumeFrom(t *testing.T) {
+	h := newHub(16)
+	for i := 0; i < 5; i++ {
+		h.publish("e", fmt.Sprintf("%d", i))
+	}
+	h.close()
+	got := collect(t, h, 3)
+	if len(got) != 2 || got[0].data != "3" || got[1].data != "4" {
+		t.Fatalf("resume = %+v", got)
+	}
+}
+
+func TestHubBlocksUntilPublish(t *testing.T) {
+	h := newHub(16)
+	done := make(chan hubEvent, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		ev, ok, err := h.next(ctx, 0)
+		if err != nil || !ok {
+			close(done)
+			return
+		}
+		done <- ev
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.publish("late", "x")
+	select {
+	case ev, ok := <-done:
+		if !ok || ev.name != "late" {
+			t.Fatalf("blocked next = %+v ok=%v", ev, ok)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("next never woke")
+	}
+}
+
+func TestHubNextHonorsContext(t *testing.T) {
+	h := newHub(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := h.next(ctx, 0)
+	if err == nil {
+		t.Fatal("next returned without error on a cancelled context")
+	}
+}
+
+func TestHubTrimsOldestBeyondMax(t *testing.T) {
+	h := newHub(4)
+	for i := 0; i < 10; i++ {
+		h.publish("e", fmt.Sprintf("%d", i))
+	}
+	h.close()
+	got := collect(t, h, 0) // position 0 was trimmed; skips forward
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	if got[0].data != "6" || got[3].data != "9" {
+		t.Fatalf("retained window = %+v", got)
+	}
+	if got[0].id != 6 {
+		t.Fatalf("ids not preserved across trim: %d", got[0].id)
+	}
+}
+
+func TestHubPublishAfterCloseIsNoop(t *testing.T) {
+	h := newHub(4)
+	h.publish("a", "1")
+	h.close()
+	h.publish("b", "2")
+	if got := collect(t, h, 0); len(got) != 1 {
+		t.Fatalf("post-close publish leaked: %+v", got)
+	}
+}
+
+func TestHubConcurrentPublishersAndSubscribers(t *testing.T) {
+	h := newHub(1 << 14)
+	const publishers, each = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.publish("e", fmt.Sprintf("%d-%d", p, i))
+			}
+		}(p)
+	}
+	subs := make(chan int, 3)
+	for s := 0; s < 3; s++ {
+		// No t.Fatal off the test goroutine: count manually; a short
+		// count fails the assertion below.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			n, from := 0, 0
+			for {
+				ev, ok, err := h.next(ctx, from)
+				if err != nil || !ok {
+					break
+				}
+				n++
+				from = ev.id + 1
+			}
+			subs <- n
+		}()
+	}
+	wg.Wait()
+	h.close()
+	for s := 0; s < 3; s++ {
+		if n := <-subs; n != publishers*each {
+			t.Fatalf("subscriber saw %d events, want %d", n, publishers*each)
+		}
+	}
+	if h.len() != publishers*each {
+		t.Fatalf("retained %d", h.len())
+	}
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"smthill/internal/sweep"
+	"smthill/internal/telemetry"
+)
+
+// metricsSet accumulates the daemon's counters: job admission and
+// completion, sweep-engine cache effectiveness, and per-route HTTP
+// request latency histograms (reusing telemetry.Hist's power-of-two
+// buckets, observed in milliseconds). All methods are safe for
+// concurrent use.
+type metricsSet struct {
+	mu               sync.Mutex
+	start            time.Time
+	submitted        uint64
+	rejectedQueue    uint64
+	rejectedRate     uint64
+	rejectedDraining uint64
+	finishedDone     uint64
+	finishedFailed   uint64
+	finishedCanceled uint64
+	sweepDone        uint64
+	sweepHits        uint64
+	httpCount        map[string]map[string]uint64 // route -> status -> count
+	httpLat          map[string]*telemetry.Hist   // route -> latency (ms)
+}
+
+func newMetrics(now time.Time) *metricsSet {
+	return &metricsSet{
+		start:     now,
+		httpCount: make(map[string]map[string]uint64),
+		httpLat:   make(map[string]*telemetry.Hist),
+	}
+}
+
+func (m *metricsSet) jobSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+// jobRejected counts one admission failure by reason: "queue_full",
+// "rate_limited", or "draining".
+func (m *metricsSet) jobRejected(reason string) {
+	m.mu.Lock()
+	switch reason {
+	case "queue_full":
+		m.rejectedQueue++
+	case "rate_limited":
+		m.rejectedRate++
+	case "draining":
+		m.rejectedDraining++
+	}
+	m.mu.Unlock()
+}
+
+// jobFinished counts one terminal transition.
+func (m *metricsSet) jobFinished(state JobState) {
+	m.mu.Lock()
+	switch state {
+	case StateDone:
+		m.finishedDone++
+	case StateFailed:
+		m.finishedFailed++
+	case StateCanceled:
+		m.finishedCanceled++
+	}
+	m.mu.Unlock()
+}
+
+// observeSweep counts completed sweep jobs and memo/disk-cache hits.
+func (m *metricsSet) observeSweep(ev sweep.Event) {
+	if ev.Kind != sweep.JobDone {
+		return
+	}
+	m.mu.Lock()
+	m.sweepDone++
+	if ev.Source != sweep.FromRun {
+		m.sweepHits++
+	}
+	m.mu.Unlock()
+}
+
+// observeHTTP records one served request.
+func (m *metricsSet) observeHTTP(route string, status int, elapsed time.Duration) {
+	statusKey := strconv.Itoa(status)
+	m.mu.Lock()
+	byStatus, ok := m.httpCount[route]
+	if !ok {
+		byStatus = make(map[string]uint64)
+		m.httpCount[route] = byStatus
+	}
+	byStatus[statusKey]++
+	h, ok := m.httpLat[route]
+	if !ok {
+		h = &telemetry.Hist{}
+		m.httpLat[route] = h
+	}
+	h.Observe(int(elapsed.Milliseconds()))
+	m.mu.Unlock()
+}
+
+// gauges is the point-in-time state the server contributes to an
+// exposition (the counters above are cumulative; these are live).
+type gauges struct {
+	queueDepth    int
+	queueCapacity int
+	inflight      int
+	workers       int
+	jobsStored    int
+}
+
+// write renders the Prometheus-style text exposition. Map-keyed series
+// are emitted in sorted-key order so the output is stable (and diffable
+// in tests).
+func (m *metricsSet) write(w io.Writer, g gauges, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "smtserved_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
+	fmt.Fprintf(w, "smtserved_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintf(w, "smtserved_queue_capacity %d\n", g.queueCapacity)
+	fmt.Fprintf(w, "smtserved_jobs_inflight %d\n", g.inflight)
+	fmt.Fprintf(w, "smtserved_workers %d\n", g.workers)
+	fmt.Fprintf(w, "smtserved_jobs_stored %d\n", g.jobsStored)
+	fmt.Fprintf(w, "smtserved_jobs_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(w, "smtserved_jobs_rejected_total{reason=\"queue_full\"} %d\n", m.rejectedQueue)
+	fmt.Fprintf(w, "smtserved_jobs_rejected_total{reason=\"rate_limited\"} %d\n", m.rejectedRate)
+	fmt.Fprintf(w, "smtserved_jobs_rejected_total{reason=\"draining\"} %d\n", m.rejectedDraining)
+	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"done\"} %d\n", m.finishedDone)
+	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"failed\"} %d\n", m.finishedFailed)
+	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"canceled\"} %d\n", m.finishedCanceled)
+	fmt.Fprintf(w, "smtserved_sweep_jobs_total %d\n", m.sweepDone)
+	fmt.Fprintf(w, "smtserved_sweep_cache_hits_total %d\n", m.sweepHits)
+	ratio := 0.0
+	if m.sweepDone > 0 {
+		ratio = float64(m.sweepHits) / float64(m.sweepDone)
+	}
+	fmt.Fprintf(w, "smtserved_sweep_cache_hit_ratio %.6f\n", ratio)
+
+	routes := make([]string, 0, len(m.httpCount))
+	for r := range m.httpCount {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		statuses := make([]string, 0, len(m.httpCount[r]))
+		for s := range m.httpCount[r] {
+			statuses = append(statuses, s)
+		}
+		sort.Strings(statuses)
+		for _, s := range statuses {
+			fmt.Fprintf(w, "smtserved_http_requests_total{route=%q,status=%q} %d\n", r, s, m.httpCount[r][s])
+		}
+	}
+
+	latRoutes := make([]string, 0, len(m.httpLat))
+	for r := range m.httpLat {
+		latRoutes = append(latRoutes, r)
+	}
+	sort.Strings(latRoutes)
+	for _, r := range latRoutes {
+		h := m.httpLat[r]
+		var cum uint64
+		for i := 0; i < telemetry.HistBuckets; i++ {
+			cum += h.Buckets[i]
+			le := "+Inf"
+			if i < telemetry.HistBuckets-1 {
+				// Bucket i holds integer milliseconds in
+				// [BucketLo(i), 2*BucketLo(i)), so the inclusive upper
+				// bound is the next bucket's low edge minus one.
+				le = strconv.Itoa(telemetry.BucketLo(i+1) - 1)
+			}
+			fmt.Fprintf(w, "smtserved_http_request_ms_bucket{route=%q,le=%q} %d\n", r, le, cum)
+		}
+		fmt.Fprintf(w, "smtserved_http_request_ms_sum{route=%q} %d\n", r, h.Sum)
+		fmt.Fprintf(w, "smtserved_http_request_ms_count{route=%q} %d\n", r, h.Count)
+	}
+}
+
+// snapshot returns (sweepDone, sweepHits) for tests and handlers.
+func (m *metricsSet) sweepCounts() (done, hits uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepDone, m.sweepHits
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter records the response status for metrics and whether
+// anything was written (so the panic handler knows if a 500 can still
+// be sent). It forwards Flush for SSE.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handle registers pattern on mux wrapped in the daemon middleware
+// stack: panic isolation (a handler panic becomes a logged 500, never a
+// dead process), optional per-client rate limiting, a request deadline
+// for non-streaming routes, and per-route latency/status metrics
+// labelled with the registration pattern.
+func (s *Server) handle(mux *http.ServeMux, pattern string, limited bool, h http.HandlerFunc) {
+	streaming := pattern == "GET /v1/jobs/{id}/events"
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Logf("serve: %s panic: %v\n%s", pattern, p, debug.Stack())
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			status := sw.status
+			if status == 0 {
+				// Handler wrote nothing (e.g. the client disconnected
+				// mid-wait); net/http would have sent an implicit 200.
+				status = http.StatusOK
+			}
+			s.metrics.observeHTTP(pattern, status, time.Since(start))
+		}()
+
+		if limited {
+			if ok, retry := s.limits.allow(clientKey(r)); !ok {
+				s.metrics.jobRejected("rate_limited")
+				secs := int(retry/time.Second) + 1
+				sw.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+				writeError(sw, http.StatusTooManyRequests,
+					"rate limit exceeded; retry in %ds", secs)
+				return
+			}
+		}
+		if !streaming {
+			// Streaming routes live as long as the job; everything else
+			// must finish inside the request timeout.
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+	})
+}
+
+// clientKey identifies a client for rate limiting: the remote host
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token bucket: each client key (the request's
+// remote host) accrues rate tokens per second up to burst, and every
+// API request spends one. It shields the job queue from a single
+// misbehaving client without globally throttling the daemon.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	now     func() time.Time
+	clients map[string]*clientBucket
+}
+
+type clientBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the client map; beyond it, buckets idle long enough
+// to have refilled completely are pruned.
+const maxClients = 1024
+
+// newLimiter returns a limiter granting rate requests/second with the
+// given burst. rate <= 0 disables limiting (allow always succeeds).
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		clients: make(map[string]*clientBucket),
+	}
+}
+
+// allow spends one token for client, reporting whether the request may
+// proceed and, if not, how long until a token is available.
+func (l *limiter) allow(client string) (bool, time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= maxClients {
+			l.pruneLocked(now)
+		}
+		b = &clientBucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// pruneLocked drops buckets that have been idle long enough to refill
+// completely — forgetting them is behaviour-neutral.
+func (l *limiter) pruneLocked(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.clients {
+		if now.Sub(b.last) > full {
+			delete(l.clients, k)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*limiter, *fakeClock) {
+	l := newLimiter(rate, burst)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, c := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.allow("a")
+	if ok {
+		t.Fatal("over-burst request allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 1s]", retry)
+	}
+	c.advance(time.Second)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+}
+
+func TestLimiterClientsAreIndependent(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("first client rejected")
+	}
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("second client inherited first client's spend")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("first client's second request allowed with empty bucket")
+	}
+}
+
+func TestLimiterCapsAtBurst(t *testing.T) {
+	l, c := newTestLimiter(100, 2)
+	l.allow("a")
+	l.allow("a")
+	// A long idle period must not bank more than burst tokens.
+	c.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("post-idle request %d rejected", i)
+		}
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("idle period banked more than burst")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l, _ := newTestLimiter(-1, 1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+func TestLimiterPrunesIdleClients(t *testing.T) {
+	l, c := newTestLimiter(10, 10)
+	for i := 0; i < maxClients; i++ {
+		l.allow(string(rune('a')) + time.Duration(i).String())
+	}
+	if len(l.clients) != maxClients {
+		t.Fatalf("clients = %d, want %d", len(l.clients), maxClients)
+	}
+	// All existing buckets refill fully after burst/rate seconds; a new
+	// client then triggers the prune.
+	c.advance(2 * time.Second)
+	l.allow("fresh")
+	if len(l.clients) != 1 {
+		t.Fatalf("post-prune clients = %d, want 1", len(l.clients))
+	}
+}

@@ -1,0 +1,653 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smthill/internal/serve"
+	"smthill/internal/simjob"
+)
+
+// tinySpec is a simulation that completes in milliseconds.
+func tinySpec() simjob.Spec {
+	return simjob.Spec{
+		Workload: "art-mcf", Tech: "ICOUNT",
+		Epochs: 2, EpochSize: 2048, Warmup: 1,
+	}
+}
+
+// slowSpec is a simulation that runs (much) longer than any test, to
+// exercise queueing and cancellation. It still stops promptly: the
+// runner checks its context at every epoch boundary.
+func slowSpec() simjob.Spec {
+	return simjob.Spec{
+		Workload: "art-mcf", Tech: "ICOUNT",
+		Epochs: simjob.MaxEpochs, EpochSize: 1 << 18, Warmup: 1,
+	}
+}
+
+// newTestServer stands up a Server (rate limiting off — tests poll
+// aggressively) behind httptest.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.RatePerSec == 0 {
+		cfg.RatePerSec = -1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+// jobView mirrors the API's job JSON.
+type jobView struct {
+	ID        string         `json:"id"`
+	Kind      string         `json:"kind"`
+	State     string         `json:"state"`
+	Source    string         `json:"source"`
+	Result    *simjob.Result `json:"result"`
+	Output    string         `json:"output"`
+	Error     string         `json:"error"`
+	EventsURL string         `json:"events_url"`
+}
+
+func submit(t *testing.T, base string, spec simjob.Spec) (jobView, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp
+}
+
+func getJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitState polls until the job reaches state (or any terminal state,
+// which fails the test if it isn't the wanted one).
+func waitState(t *testing.T, base, id, state string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, base, id)
+		if v.State == state {
+			return v
+		}
+		if v.State == "done" || v.State == "failed" || v.State == "canceled" {
+			t.Fatalf("job %s reached %q (error %q), want %q", id, v.State, v.Error, state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, state)
+	return jobView{}
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	v, resp := submit(t, ts.URL, tinySpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+v.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+	got := waitState(t, ts.URL, v.ID, "done")
+	if got.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if got.Source != "run" {
+		t.Fatalf("source = %q, want run", got.Source)
+	}
+
+	// The daemon's result must equal a direct library run: one schema,
+	// one simulator, byte-identical numbers.
+	want, err := simjob.Run(context.Background(), tinySpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got.Result)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("daemon result != library result\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}
+
+func TestSecondSubmissionServedFromMemo(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	v1, _ := submit(t, ts.URL, tinySpec())
+	waitState(t, ts.URL, v1.ID, "done")
+
+	v2, _ := submit(t, ts.URL, tinySpec())
+	got := waitState(t, ts.URL, v2.ID, "done")
+	if got.Source != "memo" {
+		t.Fatalf("second submission source = %q, want memo", got.Source)
+	}
+	if got.Result == nil {
+		t.Fatal("memo-served job has no result")
+	}
+
+	// The shared-cache effect must be visible in /metrics.
+	body := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "smtserved_sweep_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", grep(body, "sweep"))
+	}
+	if !strings.Contains(body, "smtserved_sweep_cache_hit_ratio 0.5") {
+		t.Fatalf("metrics missing hit ratio:\n%s", grep(body, "sweep"))
+	}
+}
+
+func TestDiskCacheSharedAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, ts1 := newTestServer(t, serve.Config{Workers: 2, CacheDir: dir})
+	v1, _ := submit(t, ts1.URL, tinySpec())
+	waitState(t, ts1.URL, v1.ID, "done")
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, serve.Config{Workers: 2, CacheDir: dir})
+	v2, _ := submit(t, ts2.URL, tinySpec())
+	got := waitState(t, ts2.URL, v2.ID, "done")
+	if got.Source != "cache" {
+		t.Fatalf("post-restart source = %q, want cache", got.Source)
+	}
+}
+
+func TestQueueOverflowRejectsWith429(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 1, JobTimeout: time.Hour})
+
+	v1, _ := submit(t, ts.URL, slowSpec())
+	waitState(t, ts.URL, v1.ID, "running")
+
+	// Worker busy; this one fills the queue. Distinct seed so it is a
+	// distinct job (no memo short-circuit).
+	spec2 := slowSpec()
+	spec2.Seed = 1
+	v2, resp2 := submit(t, ts.URL, spec2)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit status = %d", resp2.StatusCode)
+	}
+
+	spec3 := slowSpec()
+	spec3.Seed = 2
+	_, resp3 := submit(t, ts.URL, spec3)
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp3.StatusCode)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	body := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `smtserved_jobs_rejected_total{reason="queue_full"} 1`) {
+		t.Fatalf("metrics missing queue_full rejection:\n%s", grep(body, "rejected"))
+	}
+
+	// Forced shutdown: the drain deadline passes immediately, so the
+	// running job is cancelled at its next epoch boundary and the queued
+	// one never starts.
+	expired, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(expired); err == nil {
+		t.Fatal("forced shutdown reported a clean drain")
+	}
+	if got := getJob(t, ts.URL, v1.ID); got.State != "canceled" {
+		t.Fatalf("running job state after forced shutdown = %q", got.State)
+	}
+	if got := getJob(t, ts.URL, v2.ID); got.State != "canceled" {
+		t.Fatalf("queued job state after forced shutdown = %q", got.State)
+	}
+
+	// Draining servers refuse new work and fail their health probe.
+	_, resp4 := submit(t, ts.URL, tinySpec())
+	if resp4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp4.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hresp.StatusCode)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id   string
+	name string
+	data string
+}
+
+// readSSE consumes the stream until EOF or until stop returns true.
+func readSSE(t *testing.T, resp *http.Response, stop func(sseEvent) bool) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+				if stop != nil && stop(cur) {
+					return events
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			cur.name = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		}
+	}
+	return events
+}
+
+func countByName(events []sseEvent, name string) int {
+	n := 0
+	for _, e := range events {
+		if e.name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSSEStreamsEpochAndMoveEvents(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+
+	// A hill-climbing run long enough to get past its sampling epochs,
+	// so the stream carries move events too.
+	spec := simjob.Spec{
+		Workload: "art-mcf", Tech: "HILL-WIPC",
+		Epochs: 8, EpochSize: 2048, Warmup: 1,
+	}
+	v, _ := submit(t, ts.URL, spec)
+
+	// Attach immediately — for a running job the stream is replay plus
+	// live events; it ends when the job reaches a terminal state.
+	resp, err := http.Get(ts.URL + v.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	events := readSSE(t, resp, nil)
+
+	if n := countByName(events, "epoch"); n < spec.Epochs {
+		t.Fatalf("stream carried %d epoch events, want >= %d", n, spec.Epochs)
+	}
+	if countByName(events, "move") == 0 {
+		t.Fatal("stream carried no move events")
+	}
+	if countByName(events, "sweep") == 0 {
+		t.Fatal("stream carried no sweep events")
+	}
+	last := events[len(events)-1]
+	if last.name != "state" || !strings.Contains(last.data, `"done"`) {
+		t.Fatalf("stream did not end with the terminal state: %+v", last)
+	}
+
+	// A late subscriber to the finished job gets the same full replay.
+	resp2, err := http.Get(ts.URL + v.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, resp2, nil)
+	if len(replay) != len(events) {
+		t.Fatalf("replay has %d events, live stream had %d", len(replay), len(events))
+	}
+
+	// Last-Event-ID resumes mid-stream instead of replaying everything.
+	req, _ := http.NewRequest("GET", ts.URL+v.EventsURL, nil)
+	req.Header.Set("Last-Event-ID", events[len(events)-2].id)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := readSSE(t, resp3, nil)
+	if len(tail) != 1 || tail[0].name != "state" {
+		t.Fatalf("resumed stream = %+v, want just the final state event", tail)
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+
+	body := getText(t, ts.URL+"/v1/experiments/table1")
+	if !strings.Contains(body, "Table 1") || !strings.Contains(body, "Rename reg") {
+		t.Fatalf("table1 output:\n%s", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/experiments/fig99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := readAll(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(b, "fig9") || !strings.Contains(b, "table1") {
+		t.Fatalf("404 does not teach the vocabulary: %s", b)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/experiments/fig4?epochs=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad epochs status = %d", resp2.StatusCode)
+	}
+}
+
+func TestExperimentAsyncPolling(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+
+	// wait=0 forces the async path: 202 with a job view to poll.
+	resp, err := http.Get(ts.URL + "/v1/experiments/table3?wait=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.Kind != "experiment" {
+		t.Fatalf("kind = %q", v.Kind)
+	}
+	got := waitState(t, ts.URL, v.ID, "done")
+	if !strings.Contains(got.Output, "Table 3") {
+		t.Fatalf("experiment output:\n%s", got.Output)
+	}
+}
+
+func TestBadSubmissionsNeverCrash(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	cases := []string{
+		`{"workload":"not-a-workload"}`,
+		`{"workload":"art-mcf","tech":"NOPE"}`,
+		`{"workload":"art-mcf","epochs":-5}`,
+		`{"workload":"art-mcf","epochs":100000}`,
+		`{"workload":"art-mcf","unknown_field":1}`,
+		`{not json`,
+		``,
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %q: status %d, body %s", c, resp.StatusCode, b)
+		}
+		if !strings.Contains(b, "error") {
+			t.Fatalf("spec %q: no error message: %s", c, b)
+		}
+	}
+	// The server is still healthy after all that abuse.
+	v, _ := submit(t, ts.URL, tinySpec())
+	waitState(t, ts.URL, v.ID, "done")
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	for _, path := range []string{"/v1/jobs/j999999", "/v1/jobs/j999999/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, RatePerSec: 0.01, Burst: 2})
+	statuses := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	if statuses[0] != http.StatusNotFound || statuses[1] != http.StatusNotFound {
+		t.Fatalf("burst requests = %v, want two 404s", statuses)
+	}
+	if statuses[2] != http.StatusTooManyRequests {
+		t.Fatalf("third request = %v, want 429", statuses)
+	}
+	// Monitoring endpoints are exempt.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz rate-limited: %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	v, _ := submit(t, ts.URL, tinySpec())
+	waitState(t, ts.URL, v.ID, "done")
+
+	body := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"smtserved_uptime_seconds ",
+		"smtserved_queue_depth 0",
+		"smtserved_jobs_submitted_total 1",
+		`smtserved_jobs_finished_total{state="done"} 1`,
+		"smtserved_sweep_jobs_total 1",
+		`smtserved_http_requests_total{route="POST /v1/jobs",status="202"} 1`,
+		`smtserved_http_request_ms_count{route="POST /v1/jobs"} 1`,
+		`smtserved_http_request_ms_bucket{route="POST /v1/jobs",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+
+	// The exposition is stable: identical state renders identical text
+	// apart from the uptime line (maporder discipline).
+	a := stripUptime(getText(t, ts.URL+"/metrics"))
+	b := stripUptime(getText(t, ts.URL+"/metrics"))
+	// Latency series for GET /metrics itself advance between scrapes;
+	// drop them too.
+	a, b = stripRoute(a, "GET /metrics"), stripRoute(b, "GET /metrics")
+	if a != b {
+		t.Fatalf("exposition unstable:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 3, QueueDepth: 7})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status        string `json:"status"`
+		QueueCapacity int    `json:"queue_capacity"`
+		Workers       int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.QueueCapacity != 7 || h.Workers != 3 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, h)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 4, QueueDepth: 32})
+	// Several distinct specs plus duplicates, submitted concurrently:
+	// everything completes, duplicates may be deduplicated by the memo.
+	type res struct {
+		id   string
+		code int
+	}
+	results := make(chan res, 12)
+	for i := 0; i < 12; i++ {
+		go func(i int) {
+			spec := tinySpec()
+			spec.Seed = uint64(i % 4)
+			body, _ := json.Marshal(spec)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- res{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var v jobView
+			json.NewDecoder(resp.Body).Decode(&v)
+			results <- res{id: v.ID, code: resp.StatusCode}
+		}(i)
+	}
+	var ids []string
+	for i := 0; i < 12; i++ {
+		r := <-results
+		if r.code != http.StatusAccepted {
+			t.Fatalf("concurrent submit status = %d", r.code)
+		}
+		ids = append(ids, r.id)
+	}
+	for _, id := range ids {
+		got := waitState(t, ts.URL, id, "done")
+		if got.Result == nil {
+			t.Fatalf("job %s done without result", id)
+		}
+	}
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d body %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readBody(resp)); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func readBody(resp *http.Response) string {
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}
+
+// grep returns the lines of s containing sub, for focused failure
+// output.
+func grep(s, sub string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func stripUptime(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.HasPrefix(line, "smtserved_uptime_seconds") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func stripRoute(s, route string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.Contains(line, fmt.Sprintf("route=%q", route)) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"smthill/internal/experiment"
+	"smthill/internal/simjob"
+	"smthill/internal/sweep"
+)
+
+// JobState is the lifecycle phase of a daemon job.
+type JobState string
+
+const (
+	// StateQueued means the job is in the FIFO queue, not yet picked up.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is executing the job.
+	StateRunning JobState = "running"
+	// StateDone means the job finished and its result is available.
+	StateDone JobState = "done"
+	// StateFailed means the job errored (simulation panic, timeout, bad
+	// experiment parameters).
+	StateFailed JobState = "failed"
+	// StateCanceled means the job was cancelled before completing
+	// (server shutdown while it was queued or running).
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// jobKind discriminates the two job families the daemon runs.
+type jobKind int
+
+const (
+	kindSim jobKind = iota
+	kindExperiment
+)
+
+// job is one submitted unit of work: a single simulation or a named
+// experiment. Mutable fields are guarded by mu; the identity fields
+// (id, kind, spec, key, hub, done) are set once at creation and read
+// freely.
+type job struct {
+	id   string
+	kind jobKind
+
+	// Sim jobs.
+	spec simjob.Spec
+	key  string
+
+	// Experiment jobs.
+	expName string
+	expCfg  experiment.Config
+	expOpts experiment.RunOptions
+
+	// hub streams this job's events to SSE subscribers; closed when the
+	// job reaches a terminal state.
+	hub *hub
+	// done is closed on the terminal transition, for callers that wait
+	// on completion (the experiments handler, tests).
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	source   sweep.Source // where a sim result came from (run/memo/cache)
+	result   *simjob.Result
+	output   string // experiment text output
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// setRunning transitions queued -> running and announces it on the hub.
+func (j *job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.mu.Unlock()
+	j.publishState()
+}
+
+// setSource records where the sim result came from (observer callback).
+func (j *job) setSource(src sweep.Source) {
+	j.mu.Lock()
+	j.source = src
+	j.mu.Unlock()
+}
+
+// completeSim finishes a sim job with its result.
+func (j *job) completeSim(res simjob.Result, now time.Time) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = &res
+	j.finished = now
+	j.mu.Unlock()
+	j.finishHub()
+}
+
+// completeText finishes an experiment job with its rendered output.
+func (j *job) completeText(out string, now time.Time) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.output = out
+	j.finished = now
+	j.mu.Unlock()
+	j.finishHub()
+}
+
+// fail finishes the job in a terminal non-success state.
+func (j *job) fail(state JobState, msg string, now time.Time) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = msg
+	j.finished = now
+	j.mu.Unlock()
+	j.finishHub()
+}
+
+// publishState mirrors the current state onto the hub as a "state"
+// event, so SSE consumers see lifecycle transitions inline with the
+// telemetry stream.
+func (j *job) publishState() {
+	j.mu.Lock()
+	data := fmt.Sprintf(`{"id":%q,"state":%q`, j.id, j.state)
+	if j.errMsg != "" {
+		data += fmt.Sprintf(`,"error":%q`, j.errMsg)
+	}
+	data += "}"
+	j.mu.Unlock()
+	j.hub.publish("state", data)
+}
+
+// finishHub announces the terminal state, closes the event stream, and
+// releases waiters.
+func (j *job) finishHub() {
+	j.publishState()
+	j.hub.close()
+	close(j.done)
+}
+
+// snapshot returns a consistent copy of the mutable fields.
+func (j *job) snapshot() (state JobState, source sweep.Source, result *simjob.Result, output, errMsg string, created, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.source, j.result, j.output, j.errMsg, j.created, j.started, j.finished
+}
+
+// store indexes jobs by ID. IDs come from a monotone counter — the
+// daemon never needs entropy, and predictable IDs make logs and tests
+// readable.
+type store struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*job)}
+}
+
+// nextID mints a fresh job ID.
+func (st *store) nextID() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	return fmt.Sprintf("j%06d", st.seq)
+}
+
+func (st *store) add(j *job) {
+	st.mu.Lock()
+	st.jobs[j.id] = j
+	st.mu.Unlock()
+}
+
+func (st *store) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// remove forgets a job (used when admission rejects an already-minted
+// job so its ID never resolves).
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	delete(st.jobs, id)
+	st.mu.Unlock()
+}
+
+// count returns the number of stored jobs.
+func (st *store) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.jobs)
+}

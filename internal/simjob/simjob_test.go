@@ -1,0 +1,172 @@
+package simjob
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smthill/internal/telemetry"
+)
+
+// tiny returns a spec small enough for unit tests (one epoch of 2K
+// cycles plus one warmup epoch).
+func tiny(tech string) Spec {
+	return Spec{Workload: "art-mcf", Tech: tech, Epochs: 2, EpochSize: 2048, Warmup: 1}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Spec{
+		{Workload: "art-mcf"},
+		{Workload: "art,gzip", Tech: "DCRA"},
+		tiny("HILL-WIPC"),
+		{Workload: "art-mcf", Tech: "STATIC", Seed: 7},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{},                                   // empty workload
+		{Workload: "no-such-workload"},       // unknown workload
+		{Workload: "art-mcf", Tech: "BOGUS"}, // unknown technique
+		{Workload: "art-mcf", Epochs: -1},    // negative epochs
+		{Workload: "art-mcf", Epochs: MaxEpochs + 1},
+		{Workload: "art-mcf", EpochSize: MaxEpochSize + 1},
+		{Workload: "art-mcf", Warmup: MaxWarmup + 1},
+		{Workload: "art-mcf", Delta: -4},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted invalid spec", s)
+		}
+	}
+}
+
+func TestValidateErrorsTeachVocabulary(t *testing.T) {
+	err := Spec{Workload: "art-mcf", Tech: "BOGUS"}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "HILL-WIPC") {
+		t.Fatalf("technique error does not list valid techniques: %v", err)
+	}
+}
+
+func TestKeyNormalisesDefaults(t *testing.T) {
+	implicit := Spec{Workload: "art-mcf"}.Key()
+	explicit := Spec{Workload: "art-mcf", Tech: "HILL-WIPC", Epochs: 50,
+		EpochSize: 64 * 1024, Warmup: 2, Delta: 4}.Key()
+	if implicit != explicit {
+		t.Fatalf("defaulted key %q != explicit key %q", implicit, explicit)
+	}
+	seeded := Spec{Workload: "art-mcf", Seed: 1}
+	if (Spec{Workload: "art-mcf"}).Key() == seeded.Key() {
+		t.Fatal("seed not folded into key")
+	}
+}
+
+func TestRunDeterministicAndMirrorsMachine(t *testing.T) {
+	a, err := Run(context.Background(), tiny("ICOUNT"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), tiny("ICOUNT"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("two runs of one spec differ:\n%s\n%s", ja, jb)
+	}
+	if len(a.Threads) != 2 || a.Threads[0].App != "art" || a.Threads[1].App != "mcf" {
+		t.Fatalf("threads = %+v", a.Threads)
+	}
+	sum := a.Threads[0].IPC + a.Threads[1].IPC
+	if a.TotalIPC < 0.999*sum || a.TotalIPC > 1.001*sum {
+		t.Fatalf("TotalIPC %f != sum of per-thread %f", a.TotalIPC, sum)
+	}
+	if a.Threads[0].Committed == 0 || a.Threads[1].Committed == 0 {
+		t.Fatalf("no instructions committed: %+v", a.Threads)
+	}
+	if a.Workload != "art-mcf" || a.Tech != "ICOUNT" || a.Epochs != 2 {
+		t.Fatalf("spec echo wrong: %+v", a)
+	}
+}
+
+func TestRunHillReportsShares(t *testing.T) {
+	spec := tiny("HILL-WIPC")
+	spec.Epochs = 6 // the first Threads() epochs are SingleIPC samples
+	res, err := Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalShares) != 2 {
+		t.Fatalf("hill run reported no partition: %+v", res)
+	}
+}
+
+func TestRunSeedPerturbsStreams(t *testing.T) {
+	base, err := Run(context.Background(), tiny("ICOUNT"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tiny("ICOUNT")
+	s.Seed = 12345
+	replica, err := Run(context.Background(), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Threads[0].Committed == replica.Threads[0].Committed &&
+		base.Threads[1].Committed == replica.Threads[1].Committed {
+		t.Fatalf("seed perturbation produced identical streams: %+v", replica.Threads)
+	}
+	// The replica must itself be deterministic.
+	again, err := Run(context.Background(), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Threads[0].Committed != replica.Threads[0].Committed {
+		t.Fatal("seeded replica not deterministic")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tiny("ICOUNT"), nil); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunEmitsTelemetry(t *testing.T) {
+	sink := &telemetry.MemorySink{}
+	spec := tiny("HILL-WIPC")
+	spec.Epochs = 6 // sampling epochs emit no move events
+	if _, err := Run(context.Background(), spec, sink); err != nil {
+		t.Fatal(err)
+	}
+	epochs, moves := 0, 0
+	for _, ev := range sink.Events() {
+		switch ev.Type {
+		case telemetry.TypeEpoch:
+			epochs++
+		case telemetry.TypeMove:
+			moves++
+		}
+	}
+	if epochs == 0 {
+		t.Fatal("no epoch events emitted")
+	}
+	if moves == 0 {
+		t.Fatal("no move events emitted")
+	}
+}
+
+func TestBuildRejectsWithoutPanicking(t *testing.T) {
+	if _, _, _, err := Build(Spec{Workload: "nope"}); err == nil {
+		t.Fatal("Build accepted unknown workload")
+	}
+	if _, _, _, err := Build(Spec{Workload: "art-mcf", Tech: "nope"}); err == nil {
+		t.Fatal("Build accepted unknown technique")
+	}
+}

@@ -22,8 +22,16 @@ const SchemaVersion = 1
 // directory at worst redundantly compute and then write identical
 // entries.
 type Cache struct {
-	dir string
+	dir  string
+	logf func(format string, args ...any)
 }
+
+// SetLogf installs a logger for damaged-entry reports (nil, the default,
+// keeps recovery silent). A truncated or otherwise corrupt entry is
+// never an error — Get treats it as a miss and the engine recomputes —
+// but an operator running a long-lived shared cache wants to know the
+// disk is eating entries.
+func (c *Cache) SetLogf(logf func(format string, args ...any)) { c.logf = logf }
 
 // NewCache opens (creating if needed) a cache rooted at dir.
 func NewCache(dir string) (*Cache, error) {
@@ -54,14 +62,34 @@ func (c *Cache) path(key string) string {
 
 // Get returns the stored raw JSON result for key, or ok=false on any
 // miss: absent file, unreadable or corrupt entry, schema mismatch, or
-// key mismatch. A corrupt entry is simply recomputed by the engine.
+// key mismatch. A corrupt entry is simply recomputed by the engine; when
+// a logger is installed (SetLogf) the damage is reported, because a
+// present-but-unusable file — unlike a plain absence — usually means a
+// truncated write or bit rot worth an operator's attention.
 func (c *Cache) Get(key string) (json.RawMessage, bool) {
-	b, err := os.ReadFile(c.path(key))
+	p := c.path(key)
+	b, err := os.ReadFile(p)
 	if err != nil {
+		if !os.IsNotExist(err) && c.logf != nil {
+			c.logf("sweep cache: unreadable entry %s (treating as miss): %v", p, err)
+		}
 		return nil, false
 	}
 	var e entry
-	if json.Unmarshal(b, &e) != nil || e.Schema != SchemaVersion || e.Key != key {
+	switch {
+	case json.Unmarshal(b, &e) != nil:
+		if c.logf != nil {
+			c.logf("sweep cache: corrupt entry %s (%d bytes, treating as miss)", p, len(b))
+		}
+		return nil, false
+	case e.Schema != SchemaVersion:
+		// A foreign schema version is expected after an upgrade, not
+		// damage: stay silent, recompute, overwrite.
+		return nil, false
+	case e.Key != key:
+		if c.logf != nil {
+			c.logf("sweep cache: entry %s holds key %q, want %q (treating as miss)", p, e.Key, key)
+		}
 		return nil, false
 	}
 	return e.Result, true

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -111,6 +112,112 @@ func TestCacheRejectsCorruptAndMismatchedEntries(t *testing.T) {
 	corruptAll(t, dir, bad)
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("wrong-key entry served")
+	}
+}
+
+// TestCacheTruncatedEntryLogsAndRecovers simulates the classic failure
+// of an interrupted cache write that bypassed the atomic rename (or disk
+// damage after it): the entry file exists but holds half a JSON object.
+// The read must degrade to a logged miss and the engine must recompute
+// and repair the entry in place.
+func TestCacheTruncatedEntryLogsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	c.SetLogf(func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	if err := c.Put("k", json.RawMessage(`[1,2,3]`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the entry mid-file.
+	var full []byte
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".json") {
+			full, err = os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, full[:len(full)/2], 0o644)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("no cache entry written")
+	}
+
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("truncated entry served")
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "corrupt entry") {
+		t.Fatalf("corruption not logged: %q", logs)
+	}
+
+	// The engine path: a batch over the damaged key recomputes and
+	// repairs the entry.
+	e := NewEngine(1)
+	e.SetCache(c)
+	res, err := Run(context.Background(), e, []Job[[]int]{{
+		Key: "k",
+		Run: func(context.Context) ([]int, error) { return []int{1, 2, 3}, nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res["k"]) != 3 {
+		t.Fatalf("recompute result = %v", res)
+	}
+	// Both reads of the damaged entry (ours and the engine's lookup)
+	// logged; the repaired entry reads silently.
+	repaired := len(logs)
+	if got, ok := c.Get("k"); !ok || string(got) != "[1,2,3]" {
+		t.Fatalf("entry not repaired: %s ok=%v", got, ok)
+	}
+	if len(logs) != repaired {
+		t.Fatalf("healthy reread logged spuriously: %q", logs[repaired:])
+	}
+}
+
+// TestCacheKeyMismatchLogged covers the key-mismatch miss (hash
+// collision or stale addressing): recoverable, but logged.
+func TestCacheKeyMismatchLogged(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	c.SetLogf(func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	if err := c.Put("k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := json.Marshal(entry{Schema: SchemaVersion, Key: "other", Result: json.RawMessage(`1`)})
+	corruptAll(t, dir, bad)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("wrong-key entry served")
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], `"other"`) {
+		t.Fatalf("mismatch not logged: %q", logs)
+	}
+	// A schema-version miss is expected churn (after upgrades), never
+	// logged as damage.
+	logs = nil
+	stale, _ := json.Marshal(entry{Schema: SchemaVersion + 1, Key: "k", Result: json.RawMessage(`1`)})
+	corruptAll(t, dir, stale)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("wrong-schema entry served")
+	}
+	if len(logs) != 0 {
+		t.Fatalf("schema miss logged as damage: %q", logs)
 	}
 }
 

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancellationPartialResults cancels a serial batch from inside job
+// 2 and asserts the engine's contract: jobs completed before the
+// cancellation are returned, jobs after it never run, and the batch
+// error is the context's error — not a fabricated job failure.
+func TestCancellationPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context) (int, error) {
+				ran.Add(1)
+				if i == 2 {
+					cancel() // the batch is cancelled mid-flight...
+				}
+				return i * 10, nil // ...but this job itself completes
+			},
+		}
+	}
+	res, err := Run(ctx, NewEngine(1), jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("%d jobs ran after cancellation, want 3", got)
+	}
+	if len(res) != 3 {
+		t.Fatalf("partial results = %v, want the 3 completed jobs", res)
+	}
+	for i := 0; i < 3; i++ {
+		if res[fmt.Sprintf("job-%d", i)] != i*10 {
+			t.Fatalf("completed job %d missing or wrong in %v", i, res)
+		}
+	}
+}
+
+// TestCancellationStopsWorkersPromptly parks every worker on ctx.Done
+// and asserts that cancelling returns the whole batch quickly — workers
+// must not keep pulling queued jobs after the context dies.
+func TestCancellationStopsWorkersPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, 4)
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("parked-%d", i),
+			Run: func(c context.Context) (int, error) {
+				started <- struct{}{}
+				<-c.Done()
+				return 0, c.Err()
+			},
+		}
+	}
+	done := make(chan error, 1)
+	var res map[string]int
+	go func() {
+		var err error
+		res, err = Run(ctx, NewEngine(4), jobs)
+		done <- err
+	}()
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if len(res) != 0 {
+			t.Fatalf("no job completed, but results = %v", res)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// TestDeadlineNotMisreported asserts a timed-out batch surfaces
+// context.DeadlineExceeded, not a per-job failure.
+func TestDeadlineNotMisreported(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	jobs := []Job[int]{
+		{Key: "instant", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Key: "stuck", Run: func(c context.Context) (int, error) {
+			<-c.Done()
+			return 0, c.Err()
+		}},
+	}
+	res, err := Run(ctx, NewEngine(2), jobs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res["instant"] != 1 {
+		t.Fatalf("completed job dropped: %v", res)
+	}
+}

@@ -59,9 +59,9 @@ type Job[R any] struct {
 // call; an Engine may then be shared by concurrent Run calls and reused
 // across batches, accumulating its in-process memo.
 type Engine struct {
-	workers int
-	cache   *Cache
-	onEvent func(Event)
+	workers   int
+	cache     *Cache
+	observers []func(Event)
 
 	mu   sync.Mutex
 	memo map[string][]byte // job key -> JSON result
@@ -88,10 +88,33 @@ func (e *Engine) Workers() int {
 // SetCache attaches an on-disk result cache (nil detaches it).
 func (e *Engine) SetCache(c *Cache) { e.cache = c }
 
-// SetObserver installs a progress hook invoked for every job state
-// change. Events are delivered serially (never concurrently), but from
-// worker goroutines.
-func (e *Engine) SetObserver(fn func(Event)) { e.onEvent = fn }
+// SetObserver installs fn as the only progress hook, replacing any
+// observers added so far (nil removes them all). Events are delivered
+// serially (never concurrently), but from worker goroutines.
+func (e *Engine) SetObserver(fn func(Event)) {
+	if fn == nil {
+		e.observers = nil
+		return
+	}
+	e.observers = []func(Event){fn}
+}
+
+// AddObserver subscribes an additional progress hook; every installed
+// observer sees every event, in subscription order. Like SetObserver and
+// SetCache it must be called before the first Run — the observer list is
+// read without locking by running batches.
+func (e *Engine) AddObserver(fn func(Event)) {
+	if fn != nil {
+		e.observers = append(e.observers, fn)
+	}
+}
+
+// emit fans an event out to every observer. Callers hold eventMu.
+func (e *Engine) emit(ev Event) {
+	for _, fn := range e.observers {
+		fn(ev)
+	}
+}
 
 // lookup consults the in-process memo, then the disk cache. A disk hit
 // is promoted into the memo.
@@ -171,7 +194,11 @@ func (b *batch) event(kind EventKind, key string, src Source, dur time.Duration)
 // occurrence wins). On the first job error — including a recovered
 // panic — the remaining jobs are cancelled and the error of the
 // earliest-submitted failing job is returned, so the failure surfaced is
-// deterministic.
+// deterministic. When ctx is cancelled (or times out) the batch stops
+// promptly — workers finish their current job and drain the rest without
+// running them — and Run returns the results of every job completed
+// before the cancellation together with the context's error, never
+// misreporting the cancellation as a job failure.
 func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, error) {
 	if e == nil {
 		e = NewEngine(0)
@@ -188,7 +215,11 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, er
 		}
 	}
 
-	st := &batch{mu: &e.eventMu, emit: e.onEvent, total: len(uniq)}
+	var emit func(Event)
+	if len(e.observers) > 0 {
+		emit = e.emit
+	}
+	st := &batch{mu: &e.eventMu, emit: emit, total: len(uniq)}
 	results := make(map[string]R, len(uniq))
 
 	// Resolve memo and cache hits up front so workers only see jobs that
@@ -284,7 +315,10 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, er
 		return nil, firstErr
 	}
 	if cancelErr != nil {
-		return nil, cancelErr
+		// Cancellation is not a job failure: completed jobs' results are
+		// returned alongside the context error so callers can keep partial
+		// work (and cached entries already written stay valid).
+		return results, cancelErr
 	}
 	return results, ctx.Err()
 }

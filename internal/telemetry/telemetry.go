@@ -278,6 +278,15 @@ func (s *MemorySink) Len() int {
 	return len(s.events)
 }
 
+// SinkFunc adapts a function to the Sink interface, the bridge for
+// consumers that are themselves a function — an SSE subscriber hub, a
+// test probe, an in-process filter. The function must be safe for
+// concurrent calls, like any Sink.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
 // Tee fans one event out to several sinks.
 type Tee []Sink
 
