@@ -52,6 +52,8 @@ func run() int {
 		rate         = flag.Float64("rate", 50, "per-client requests/second on /v1 endpoints (<0 disables)")
 		burst        = flag.Int("burst", 100, "per-client burst allowance")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight jobs")
+		retainJobs   = flag.Int("retain-jobs", 1024, "finished jobs kept pollable before the oldest are evicted")
+		retainFor    = flag.Duration("retain-for", 15*time.Minute, "how long a finished job stays pollable")
 		paper        = flag.Bool("paper", false, "paper-scale experiment configuration (slow)")
 	)
 	flag.Parse()
@@ -68,6 +70,8 @@ func run() int {
 		RequestTimeout: *reqTimeout,
 		RatePerSec:     *rate,
 		Burst:          *burst,
+		RetainJobs:     *retainJobs,
+		RetainFor:      *retainFor,
 		Logf:           logger.Printf,
 	}
 	if *paper {

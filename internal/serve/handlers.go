@@ -62,15 +62,18 @@ func (s *Server) view(j *job) jobView {
 
 // buildRoutes wires the endpoint table. Monitoring endpoints bypass the
 // rate limiter so scrapes and health probes never contend with API
-// clients.
+// clients. The SSE stream and the experiments endpoint carry no
+// middleware deadline: the former lives as long as the job, the latter
+// bounds its own synchronous wait (see handleExperiment) and must
+// outlive RequestTimeout for ?wait= values beyond it.
 func (s *Server) buildRoutes() http.Handler {
 	mux := http.NewServeMux()
-	s.handle(mux, "POST /v1/jobs", true, s.handleSubmit)
-	s.handle(mux, "GET /v1/jobs/{id}", true, s.handleJobGet)
-	s.handle(mux, "GET /v1/jobs/{id}/events", true, s.handleJobEvents)
-	s.handle(mux, "GET /v1/experiments/{name}", true, s.handleExperiment)
-	s.handle(mux, "GET /healthz", false, s.handleHealthz)
-	s.handle(mux, "GET /metrics", false, s.handleMetrics)
+	s.handle(mux, "POST /v1/jobs", true, true, s.handleSubmit)
+	s.handle(mux, "GET /v1/jobs/{id}", true, true, s.handleJobGet)
+	s.handle(mux, "GET /v1/jobs/{id}/events", true, false, s.handleJobEvents)
+	s.handle(mux, "GET /v1/experiments/{name}", true, false, s.handleExperiment)
+	s.handle(mux, "GET /healthz", false, true, s.handleHealthz)
+	s.handle(mux, "GET /metrics", false, true, s.handleMetrics)
 	return mux
 }
 
@@ -194,9 +197,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleExperiment submits a named experiment as a job through the same
-// queue (admission control applies) and waits up to the request timeout
-// (or ?wait=) for it to finish: 200 with the rendered output when done
-// in time, otherwise 202 with the job view for polling.
+// admission control and waits up to RequestTimeout (or ?wait=, which may
+// exceed it — the route carries no middleware deadline) for it to
+// finish: 200 with the rendered output when done in time, otherwise 202
+// with the job view for polling. The 202 is also written on client
+// disconnect; net/http discards it if nobody is listening, but it keeps
+// this handler's only bodyless return the panic path.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !knownExperiment(name) {
@@ -261,7 +267,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
 		writeJSON(w, http.StatusAccepted, s.view(j))
 	case <-r.Context().Done():
-		// Client gone; the job keeps running and stays pollable.
+		// Client gone (this route has no middleware deadline); the job
+		// keeps running and stays pollable at the Location below.
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, s.view(j))
 	}
 }
 
@@ -291,11 +300,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, code, map[string]any{
-		"status":         status,
-		"queue_depth":    len(s.queue),
-		"queue_capacity": s.cfg.QueueDepth,
-		"inflight":       s.inflight.Load(),
-		"workers":        s.cfg.Workers,
+		"status":                 status,
+		"queue_depth":            len(s.queue),
+		"queue_capacity":         s.cfg.QueueDepth,
+		"experiment_queue_depth": len(s.expQueue),
+		"inflight":               s.inflight.Load(),
+		"workers":                s.cfg.Workers,
 	})
 }
 
@@ -306,6 +316,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.write(w, gauges{
 		queueDepth:    len(s.queue),
 		queueCapacity: s.cfg.QueueDepth,
+		expQueueDepth: len(s.expQueue),
 		inflight:      int(s.inflight.Load()),
 		workers:       s.cfg.Workers,
 		jobsStored:    s.store.count(),

@@ -113,6 +113,7 @@ func (m *metricsSet) observeHTTP(route string, status int, elapsed time.Duration
 type gauges struct {
 	queueDepth    int
 	queueCapacity int
+	expQueueDepth int
 	inflight      int
 	workers       int
 	jobsStored    int
@@ -128,6 +129,7 @@ func (m *metricsSet) write(w io.Writer, g gauges, now time.Time) {
 	fmt.Fprintf(w, "smtserved_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
 	fmt.Fprintf(w, "smtserved_queue_depth %d\n", g.queueDepth)
 	fmt.Fprintf(w, "smtserved_queue_capacity %d\n", g.queueCapacity)
+	fmt.Fprintf(w, "smtserved_experiment_queue_depth %d\n", g.expQueueDepth)
 	fmt.Fprintf(w, "smtserved_jobs_inflight %d\n", g.inflight)
 	fmt.Fprintf(w, "smtserved_workers %d\n", g.workers)
 	fmt.Fprintf(w, "smtserved_jobs_stored %d\n", g.jobsStored)

@@ -43,11 +43,13 @@ func (sw *statusWriter) Flush() {
 
 // handle registers pattern on mux wrapped in the daemon middleware
 // stack: panic isolation (a handler panic becomes a logged 500, never a
-// dead process), optional per-client rate limiting, a request deadline
-// for non-streaming routes, and per-route latency/status metrics
-// labelled with the registration pattern.
-func (s *Server) handle(mux *http.ServeMux, pattern string, limited bool, h http.HandlerFunc) {
-	streaming := pattern == "GET /v1/jobs/{id}/events"
+// dead process), optional per-client rate limiting, an optional request
+// deadline, and per-route latency/status metrics labelled with the
+// registration pattern. Routes that outlive RequestTimeout by design —
+// the SSE stream, and the experiments endpoint with its own bounded
+// wait — pass deadline=false so their r.Context() only ends on client
+// disconnect or server shutdown.
+func (s *Server) handle(mux *http.ServeMux, pattern string, limited, deadline bool, h http.HandlerFunc) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -60,8 +62,9 @@ func (s *Server) handle(mux *http.ServeMux, pattern string, limited bool, h http
 			}
 			status := sw.status
 			if status == 0 {
-				// Handler wrote nothing (e.g. the client disconnected
-				// mid-wait); net/http would have sent an implicit 200.
+				// Handler wrote nothing; net/http sends an implicit 200.
+				// Every route writes explicitly today, so this is a
+				// belt-and-braces default for the metrics label.
 				status = http.StatusOK
 			}
 			s.metrics.observeHTTP(pattern, status, time.Since(start))
@@ -77,9 +80,7 @@ func (s *Server) handle(mux *http.ServeMux, pattern string, limited bool, h http
 				return
 			}
 		}
-		if !streaming {
-			// Streaming routes live as long as the job; everything else
-			// must finish inside the request timeout.
+		if deadline {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)

@@ -22,8 +22,10 @@ type clientBucket struct {
 	last   time.Time
 }
 
-// maxClients bounds the client map; beyond it, buckets idle long enough
-// to have refilled completely are pruned.
+// maxClients is a hard bound on the client map: at capacity, buckets
+// idle long enough to have refilled completely are pruned first (their
+// removal is behaviour-neutral), and if every bucket is still active
+// the least-recently-used one is evicted to make room.
 const maxClients = 1024
 
 // newLimiter returns a limiter granting rate requests/second with the
@@ -54,6 +56,9 @@ func (l *limiter) allow(client string) (bool, time.Duration) {
 		if len(l.clients) >= maxClients {
 			l.pruneLocked(now)
 		}
+		if len(l.clients) >= maxClients {
+			l.evictOldestLocked()
+		}
 		b = &clientBucket{tokens: l.burst, last: now}
 		l.clients[client] = b
 	}
@@ -78,5 +83,26 @@ func (l *limiter) pruneLocked(now time.Time) {
 		if now.Sub(b.last) > full {
 			delete(l.clients, k)
 		}
+	}
+}
+
+// evictOldestLocked removes the least-recently-used bucket (ties broken
+// by key, so the choice is deterministic). The evicted client starts
+// over with a full bucket on its next request — a small grant of extra
+// burst, accepted to keep the map genuinely bounded under many
+// concurrently active clients.
+func (l *limiter) evictOldestLocked() {
+	var oldestKey string
+	var oldestAt time.Time
+	found := false
+	for k, b := range l.clients {
+		if !found || b.last.Before(oldestAt) ||
+			(b.last.Equal(oldestAt) && k < oldestKey) {
+			found = true
+			oldestKey, oldestAt = k, b.last
+		}
+	}
+	if found {
+		delete(l.clients, oldestKey)
 	}
 }

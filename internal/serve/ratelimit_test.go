@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -73,6 +74,30 @@ func TestLimiterDisabled(t *testing.T) {
 		if ok, _ := l.allow("a"); !ok {
 			t.Fatal("disabled limiter rejected a request")
 		}
+	}
+}
+
+func TestLimiterEvictsLRUWhenFull(t *testing.T) {
+	l, c := newTestLimiter(10, 10)
+	// Fill the map with clients that are all recently active (total
+	// elapsed time stays far below the burst/rate refill horizon, so
+	// pruning removes none of them).
+	for i := 0; i < maxClients; i++ {
+		l.allow(fmt.Sprintf("client-%04d", i))
+		c.advance(100 * time.Microsecond)
+	}
+	if len(l.clients) != maxClients {
+		t.Fatalf("clients = %d, want %d", len(l.clients), maxClients)
+	}
+	l.allow("fresh")
+	if len(l.clients) != maxClients {
+		t.Fatalf("post-evict clients = %d, want %d (bound not enforced)", len(l.clients), maxClients)
+	}
+	if _, ok := l.clients["client-0000"]; ok {
+		t.Fatal("least-recently-used bucket survived eviction")
+	}
+	if _, ok := l.clients["fresh"]; !ok {
+		t.Fatal("new client not tracked after eviction")
 	}
 }
 

@@ -11,7 +11,11 @@
 // determinism contract, panic isolation, memoisation, and disk cache
 // all apply unchanged — a second submission of an identical spec is
 // answered from cache, visible in /metrics as the sweep hit ratio.
-// Experiment jobs reuse experiment.RunNamed through the same engine.
+// Experiment jobs reuse experiment.RunNamed through the same engine,
+// on a dedicated single-worker lane so their global serialisation
+// never parks sim workers. Finished jobs stay pollable until the
+// retention policy (RetainJobs/RetainFor) evicts them, keeping the
+// store bounded over the daemon's lifetime.
 //
 // Every job owns an event hub bridging the engine's observer stream and
 // the simulator's telemetry sink to SSE subscribers, with replay: a
@@ -68,6 +72,13 @@ type Config struct {
 	CacheDir string
 	// EventBuffer caps each job's SSE replay buffer (default 8192).
 	EventBuffer int
+	// RetainJobs caps how many finished jobs stay pollable; beyond it
+	// the oldest-finished are evicted, releasing their replay buffers
+	// (default 1024). Queued and running jobs are never evicted.
+	RetainJobs int
+	// RetainFor bounds how long a finished job stays pollable before
+	// eviction (default 15m).
+	RetainFor time.Duration
 	// Experiments scales /v1/experiments runs (zero value =
 	// experiment.Default()).
 	Experiments experiment.Config
@@ -97,6 +108,12 @@ func (c Config) withDefaults() Config {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 8192
 	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	if c.RetainFor <= 0 {
+		c.RetainFor = 15 * time.Minute
+	}
 	if c.Experiments.Epochs == 0 {
 		c.Experiments = experiment.Default()
 	}
@@ -117,9 +134,15 @@ type Server struct {
 	eng     *sweep.Engine
 	store   *store
 	queue   chan *job
-	metrics *metricsSet
-	limits  *limiter
-	routes  http.Handler
+	// expQueue is the experiments' own lane: experiment jobs serialise
+	// on the process-global experiment engine/context (see expMu), so
+	// running them on the shared pool would park up to Workers pool
+	// slots behind one lock. A dedicated single worker drains this
+	// queue instead; sim workers never block on experiments.
+	expQueue chan *job
+	metrics  *metricsSet
+	limits   *limiter
+	routes   http.Handler
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -139,7 +162,9 @@ type Server struct {
 	// expMu serialises experiment jobs: experiment's engine/context
 	// installation is process-global, so at most one named experiment
 	// runs at a time (its inner simulations still fan out on the
-	// engine's worker pool).
+	// engine's worker pool). The dedicated expQueue worker makes it
+	// uncontended in practice; the lock stays as a guard against any
+	// other caller reaching runExperiment.
 	expMu  sync.Mutex
 	expJob atomic.Pointer[job]
 }
@@ -153,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 		eng:        sweep.NewEngine(cfg.Workers),
 		store:      newStore(),
 		queue:      make(chan *job, cfg.QueueDepth),
+		expQueue:   make(chan *job, cfg.QueueDepth),
 		metrics:    newMetrics(time.Now()),
 		limits:     newLimiter(cfg.RatePerSec, cfg.Burst),
 		baseCtx:    ctx,
@@ -171,11 +197,39 @@ func New(cfg Config) (*Server, error) {
 	s.eng.AddObserver(s.observeSweep)
 	experiment.SetEngine(s.eng)
 	s.routes = s.buildRoutes()
-	s.wg.Add(cfg.Workers)
+	s.wg.Add(cfg.Workers + 1)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(s.queue)
 	}
+	go s.worker(s.expQueue)
+	go s.janitor()
 	return s, nil
+}
+
+// janitor periodically evicts finished jobs past the retention policy,
+// keeping the store (and each evicted job's replay buffer) bounded over
+// a long-running daemon's lifetime. It exits when the base context is
+// cancelled at the end of Shutdown.
+func (s *Server) janitor() {
+	tick := s.cfg.RetainFor / 4
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			if n := s.store.evictTerminal(now, s.cfg.RetainFor, s.cfg.RetainJobs); n > 0 {
+				s.cfg.Logf("serve: evicted %d finished jobs past retention", n)
+			}
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -192,15 +246,20 @@ var (
 	errDraining  = errors.New("server is draining")
 )
 
-// enqueue admits a job to the FIFO queue, or reports why it cannot.
+// enqueue admits a job to its kind's FIFO queue (experiments have a
+// dedicated lane, see expQueue), or reports why it cannot.
 func (s *Server) enqueue(j *job) error {
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 	if s.draining.Load() {
 		return errDraining
 	}
+	q := s.queue
+	if j.kind == kindExperiment {
+		q = s.expQueue
+	}
 	select {
-	case s.queue <- j:
+	case q <- j:
 		j.publishState() // "queued"
 		s.metrics.jobSubmitted()
 		return nil
@@ -209,11 +268,11 @@ func (s *Server) enqueue(j *job) error {
 	}
 }
 
-// worker drains the queue until Shutdown closes it. Once draining,
+// worker drains one queue until Shutdown closes it. Once draining,
 // still-queued jobs are cancelled rather than started.
-func (s *Server) worker() {
+func (s *Server) worker(queue chan *job) {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for j := range queue {
 		if s.draining.Load() {
 			j.fail(StateCanceled, "canceled: server shutting down", time.Now())
 			s.metrics.jobFinished(StateCanceled)
@@ -421,6 +480,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	close(s.queue)
+	close(s.expQueue)
 	s.admitMu.Unlock()
 
 	done := make(chan struct{})

@@ -418,6 +418,79 @@ func TestExperimentAsyncPolling(t *testing.T) {
 	}
 }
 
+// slowExperimentPath is a named-experiment request that runs simulations
+// for several seconds (OFF-LINE search on one workload) — long enough to
+// outlive any test RequestTimeout, short enough to finish within the
+// waitState budget.
+const slowExperimentPath = "/v1/experiments/fig4?workloads=art-mcf&epochs=2"
+
+// TestExperimentSlowerThanRequestTimeout pins the polling fallback: an
+// experiment that outlives the server's RequestTimeout must come back
+// as a real 202 with a job view to poll — not a bodyless implicit 200
+// from an expired middleware deadline (the route carries none).
+func TestExperimentSlowerThanRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2, RequestTimeout: 100 * time.Millisecond})
+	resp, err := http.Get(ts.URL + slowExperimentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow experiment status = %d, want 202 (body %q)", resp.StatusCode, readAll(t, resp))
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("202 carried no job view: %v", err)
+	}
+	resp.Body.Close()
+	if v.Kind != "experiment" || v.ID == "" {
+		t.Fatalf("202 job view = %+v", v)
+	}
+	got := waitState(t, ts.URL, v.ID, "done")
+	if !strings.Contains(got.Output, "Figure 4") {
+		t.Fatalf("experiment output:\n%s", got.Output)
+	}
+}
+
+// TestExperimentWaitBeyondRequestTimeout pins that ?wait= is honoured
+// past RequestTimeout instead of being silently truncated by a
+// middleware deadline.
+func TestExperimentWaitBeyondRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2, RequestTimeout: 50 * time.Millisecond})
+	body := getText(t, ts.URL+slowExperimentPath+"&wait=60s")
+	if !strings.Contains(body, "Figure 4") {
+		t.Fatalf("long-wait experiment returned 200 without output:\n%q", body)
+	}
+}
+
+// TestFinishedJobsEvicted pins the retention policy end to end: a
+// finished job eventually 404s once RetainFor passes, so the store (and
+// /metrics jobs_stored) stays bounded on a long-running daemon.
+func TestFinishedJobsEvicted(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2, RetainFor: 50 * time.Millisecond})
+	v, _ := submit(t, ts.URL, tinySpec())
+	waitState(t, ts.URL, v.ID, "done")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job was never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "smtserved_jobs_stored 0") {
+		t.Fatalf("store not emptied after eviction:\n%s", grep(body, "jobs_stored"))
+	}
+}
+
 func TestBadSubmissionsNeverCrash(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{Workers: 1})
 	cases := []string{

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -144,6 +145,14 @@ func (j *job) finishHub() {
 	close(j.done)
 }
 
+// terminalAt reports whether the job has reached a terminal state and,
+// if so, when it finished.
+func (j *job) terminalAt() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal(), j.finished
+}
+
 // snapshot returns a consistent copy of the mutable fields.
 func (j *job) snapshot() (state JobState, source sweep.Source, result *simjob.Result, output, errMsg string, created, started, finished time.Time) {
 	j.mu.Lock()
@@ -198,4 +207,46 @@ func (st *store) count() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.jobs)
+}
+
+// evictTerminal bounds the store for a long-running daemon: finished
+// jobs older than ttl are dropped, and if more than keep remain the
+// oldest-finished go too. Queued and running jobs are never touched.
+// Evicting a job releases its retained hub buffer (subscribers already
+// attached keep streaming from their own reference; new ones get 404).
+// Returns the number evicted.
+func (st *store) evictTerminal(now time.Time, ttl time.Duration, keep int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	type fin struct {
+		id string
+		at time.Time
+	}
+	var finished []fin
+	evicted := 0
+	for id, j := range st.jobs {
+		done, at := j.terminalAt()
+		if !done {
+			continue
+		}
+		if ttl > 0 && now.Sub(at) > ttl {
+			delete(st.jobs, id)
+			evicted++
+			continue
+		}
+		finished = append(finished, fin{id: id, at: at})
+	}
+	if keep > 0 && len(finished) > keep {
+		sort.Slice(finished, func(i, k int) bool {
+			if !finished[i].at.Equal(finished[k].at) {
+				return finished[i].at.Before(finished[k].at)
+			}
+			return finished[i].id < finished[k].id
+		})
+		for _, f := range finished[:len(finished)-keep] {
+			delete(st.jobs, f.id)
+			evicted++
+		}
+	}
+	return evicted
 }

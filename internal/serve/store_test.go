@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEvictTerminal exercises the retention policy directly: TTL expiry
+// first, then the count cap on what remains, with running jobs immune
+// to both.
+func TestEvictTerminal(t *testing.T) {
+	st := newStore()
+	now := time.Unix(2000, 0)
+	mk := func(state JobState, finished time.Time) *job {
+		j := &job{id: st.nextID(), hub: newHub(4), done: make(chan struct{})}
+		j.state = state
+		j.finished = finished
+		st.add(j)
+		return j
+	}
+	running := mk(StateRunning, time.Time{})
+	old := mk(StateDone, now.Add(-time.Hour))
+	mid := mk(StateDone, now.Add(-2*time.Minute))
+	newer := mk(StateFailed, now.Add(-time.Minute))
+	newest := mk(StateCanceled, now.Add(-time.Second))
+
+	// TTL pass: only the hour-old job is past a 15m retention.
+	if n := st.evictTerminal(now, 15*time.Minute, 10); n != 1 {
+		t.Fatalf("ttl pass evicted %d, want 1", n)
+	}
+	if _, ok := st.get(old.id); ok {
+		t.Fatal("expired job survived TTL eviction")
+	}
+
+	// Count pass: keep only the newest terminal job; the running job is
+	// not a candidate and must survive.
+	if n := st.evictTerminal(now, 15*time.Minute, 1); n != 2 {
+		t.Fatalf("count pass evicted %d, want 2", n)
+	}
+	for _, gone := range []*job{mid, newer} {
+		if _, ok := st.get(gone.id); ok {
+			t.Fatalf("job %s survived count-capped eviction", gone.id)
+		}
+	}
+	for _, kept := range []*job{running, newest} {
+		if _, ok := st.get(kept.id); !ok {
+			t.Fatalf("job %s wrongly evicted", kept.id)
+		}
+	}
+
+	// Idempotent once within policy.
+	if n := st.evictTerminal(now, 15*time.Minute, 1); n != 0 {
+		t.Fatalf("steady-state eviction removed %d jobs", n)
+	}
+}
