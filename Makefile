@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race serve-smoke benchsmoke fuzzsmoke profile
+.PHONY: ci vet lint build test race serve-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
 
 # ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
 # build everything, the full test suite under the race detector
@@ -8,9 +8,10 @@ GO ?= go
 # TestWorkerPoolConcurrency; internal/serve's daemon tests exercise the
 # queue/SSE/shutdown paths), the process-level daemon smoke, one
 # iteration of the telemetry overhead benchmarks so a hot-loop
-# regression fails loudly, and a short fuzz smoke over the text-format
-# parsers.
-ci: vet lint build race serve-smoke benchsmoke fuzzsmoke
+# regression fails loudly, the benchmark-trajectory gate against the
+# committed baseline, and a short fuzz smoke over the text-format
+# parsers plus an invariant-checked fig9 run.
+ci: vet lint build race serve-smoke benchsmoke bench-gate fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -41,11 +42,29 @@ serve-smoke:
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkMachine -benchtime 1x .
 
+# bench-json measures the tracked hot-loop benchmarks (SimulatorSpeed,
+# TelemetryOff, Checkpoint) and writes BENCH_PR5.json — the perf
+# trajectory artifact described in DESIGN.md "Hot-loop performance".
+# Commit the refreshed file when a PR intentionally moves the numbers.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+
+# bench-gate re-measures and compares against the committed previous
+# baseline: ns/op may regress at most 25% (noise allowance), allocs/op
+# may not grow at all. A failure means the hot loop got slower or
+# started allocating — see DESIGN.md for how to read the numbers.
+bench-gate: bench-json
+	$(GO) run ./cmd/benchjson -gate -old BENCH_PR4.json -new BENCH_PR5.json
+
 # fuzzsmoke runs each fuzz target briefly — enough to exercise the seed
-# corpora plus a few thousand mutations, not a soak.
+# corpora plus a few thousand mutations, not a soak — and finishes with
+# an invariant-checked fig9 run: every machine (and every checkpoint
+# trial cloned from one) asserts resource conservation, program-order
+# commit, and wakeup/ready-queue consistency each cycle.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParseWorkload -fuzztime 5s ./internal/workload
+	$(GO) run ./cmd/experiments -check -epochs 3 -workloads art-mcf,art-gzip,ammp-applu-art-mcf fig9 > /dev/null
 
 # profile regenerates fig4 under the CPU profiler and prints the ten
 # hottest functions. The profile is left in bin/cpu.pprof for

@@ -16,6 +16,7 @@ import (
 	"smthill/internal/experiment"
 	"smthill/internal/isa"
 	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
 	"smthill/internal/telemetry"
 	"smthill/internal/trace"
 	"smthill/internal/workload"
@@ -325,52 +326,62 @@ func BenchmarkAblationProportional(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorSpeed measures raw simulation throughput
-// (cycles/op) for a 2-thread machine.
-func BenchmarkSimulatorSpeed(b *testing.B) {
+// benchCycleLoop is the shared cycle-loop benchmark body: a 2-thread
+// art-gzip machine, optionally with a telemetry recorder attached,
+// advanced b.N cycles. It reports allocations (the steady-state loop
+// must stay at 0 allocs/op) and cycles/sec — the stable unit tracked by
+// the BENCH_PR<N>.json trajectory (`make bench-json`).
+func benchCycleLoop(b *testing.B, record bool) {
 	w := workload.ByName("art-gzip")
 	m := w.NewMachine(nil)
+	if record {
+		m.SetRecorder(telemetry.NewRecorder(m.Threads()))
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	m.CycleN(b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkSimulatorSpeed measures raw simulation throughput
+// (one op = one simulated cycle) for a 2-thread machine.
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	benchCycleLoop(b, false)
 }
 
 // BenchmarkMachineTelemetryOff is the telemetry overhead guard-rail: the
-// identical setup to BenchmarkSimulatorSpeed with no recorder attached.
+// identical loop to BenchmarkSimulatorSpeed with no recorder attached.
 // The instrumentation contract (internal/telemetry package doc) is that a
 // nil recorder costs the cycle loop one predictable branch, so this
-// benchmark's ns/op must stay within 2% of BenchmarkSimulatorSpeed's
-// pre-telemetry baseline. `make ci` runs it as a smoke test; compare
-// against BenchmarkSimulatorSpeed (same machine, same workload) when
-// touching the hot loop.
+// benchmark's ns/op must stay within 2% of BenchmarkSimulatorSpeed's.
+// `make ci` runs it as a smoke test; the bench-gate target tracks both
+// across PRs.
 func BenchmarkMachineTelemetryOff(b *testing.B) {
-	w := workload.ByName("art-gzip")
-	m := w.NewMachine(nil)
-	b.ResetTimer()
-	m.CycleN(b.N)
+	benchCycleLoop(b, false)
 }
 
 // BenchmarkMachineTelemetryOn measures the same loop with a recorder
 // attached — the full price of stall attribution and occupancy
 // histograms when tracing is requested.
 func BenchmarkMachineTelemetryOn(b *testing.B) {
-	w := workload.ByName("art-gzip")
-	m := w.NewMachine(nil)
-	m.SetRecorder(telemetry.NewRecorder(m.Threads()))
-	b.ResetTimer()
-	m.CycleN(b.N)
+	benchCycleLoop(b, true)
 }
 
-// BenchmarkCheckpoint measures the cost of the Clone() checkpoint
-// primitive that OFF-LINE and RAND-HILL rely on.
+// BenchmarkCheckpoint measures the cost of the checkpoint primitive as
+// the probe-heavy learners use it: the first checkpoint allocates via
+// Clone, every subsequent one reuses that machine's memory via
+// CloneInto — the pooled pattern OFF-LINE and RAND-HILL run per trial.
 func BenchmarkCheckpoint(b *testing.B) {
 	w := workload.ByName("art-mcf")
 	m := w.NewMachine(nil)
 	m.CycleN(20_000)
+	b.ReportAllocs()
 	b.ResetTimer()
+	var dst *pipeline.Machine
 	for i := 0; i < b.N; i++ {
-		c := m.Clone()
-		_ = c
+		dst = m.CloneInto(dst)
 	}
+	_ = dst
 }
 
 // BenchmarkTraceGen measures synthetic instruction generation throughput.

@@ -15,7 +15,8 @@
 // internal/sweep worker pool: -j bounds the parallelism, -cache-dir
 // persists results across invocations, and -progress reports per-job
 // completion on stderr. Output is byte-identical for any -j and cache
-// state. Ctrl-C (or SIGTERM) cancels the in-flight sweep cleanly: workers
+// state. -check enables the pipeline's per-cycle invariant checking on
+// every machine the run builds (CI smokes fig9 this way; see Makefile). Ctrl-C (or SIGTERM) cancels the in-flight sweep cleanly: workers
 // drain, the disk cache keeps only complete entries, and the process
 // exits non-zero.
 package main
@@ -32,6 +33,7 @@ import (
 	"smthill/internal/experiment"
 	"smthill/internal/sweep"
 	"smthill/internal/telemetry"
+	"smthill/internal/workload"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = no cache)")
 		progress   = flag.Bool("progress", false, "report per-simulation progress on stderr")
 		jsonRows   = flag.Bool("json", false, "emit JSON lines instead of tables for fig4/fig9/fig11")
+		check      = flag.Bool("check", false, "enable per-cycle pipeline invariant checking on every machine (slow; panics on violation)")
 		trace      = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -55,6 +58,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Before any simulation starts: every machine the run builds (and
+	// every trial cloned from one) checks pipeline invariants per cycle.
+	workload.CheckMachines = *check
 
 	// exit runs deferred cleanups (profile writers, sink flushes) before
 	// exiting: main wraps the real work so os.Exit never skips a defer.

@@ -105,6 +105,35 @@ func (p *Predictor) Clone() *Predictor {
 	return &c
 }
 
+// CloneInto copies p's state into dst, reusing dst's tables, and returns
+// dst. A nil or differently-shaped dst falls back to an allocating Clone.
+func (p *Predictor) CloneInto(dst *Predictor) *Predictor {
+	if dst == nil || dst == p ||
+		len(dst.gshare) != len(p.gshare) || len(dst.bimodal) != len(p.bimodal) ||
+		len(dst.meta) != len(p.meta) || len(dst.btb) != len(p.btb) ||
+		len(dst.history) != len(p.history) || len(dst.ras) != len(p.ras) {
+		return p.Clone()
+	}
+	gshare, bimodal, meta, btb, history, rasTop, ras := dst.gshare, dst.bimodal, dst.meta, dst.btb, dst.history, dst.rasTop, dst.ras
+	*dst = *p
+	dst.gshare = gshare
+	dst.bimodal = bimodal
+	dst.meta = meta
+	dst.btb = btb
+	dst.history = history
+	dst.rasTop = append(rasTop[:0], p.rasTop...)
+	dst.ras = ras
+	copy(dst.gshare, p.gshare)
+	copy(dst.bimodal, p.bimodal)
+	copy(dst.meta, p.meta)
+	copy(dst.btb, p.btb)
+	copy(dst.history, p.history)
+	for i := range p.ras {
+		dst.ras[i] = append(dst.ras[i][:0], p.ras[i]...)
+	}
+	return dst
+}
+
 func (p *Predictor) gshareIndex(ctx int, pc uint64) int {
 	return int((pc>>2)^p.history[ctx]) & (p.cfg.GshareEntries - 1)
 }

@@ -100,6 +100,22 @@ func (c *Cache) Clone() *Cache {
 	return &n
 }
 
+// CloneInto copies c's state into dst, reusing dst's line and stats
+// arrays, and returns dst. A nil or differently-shaped dst falls back to
+// an allocating Clone.
+func (c *Cache) CloneInto(dst *Cache) *Cache {
+	if dst == nil || dst == c || len(dst.lines) != len(c.lines) || len(dst.perTh) != len(c.perTh) {
+		return c.Clone()
+	}
+	lines, perTh := dst.lines, dst.perTh
+	*dst = *c
+	dst.lines = lines
+	dst.perTh = perTh
+	copy(dst.lines, c.lines)
+	copy(dst.perTh, c.perTh)
+	return dst
+}
+
 // ThreadStats returns the per-thread statistics for hardware context th.
 func (c *Cache) ThreadStats(th int) Stats { return c.perTh[th] }
 
@@ -174,6 +190,22 @@ func NewHierarchy(cfg HierarchyConfig, contexts int) *Hierarchy {
 // Clone returns a deep copy.
 func (h *Hierarchy) Clone() *Hierarchy {
 	return &Hierarchy{cfg: h.cfg, IL1: h.IL1.Clone(), DL1: h.DL1.Clone(), UL2: h.UL2.Clone()}
+}
+
+// CloneInto copies h's state into dst, reusing dst's caches, and returns
+// dst. A nil dst falls back to an allocating Clone. This is the checkpoint
+// fast path: the L2 alone is hundreds of kilobytes of line state, so
+// reusing the destination arrays dominates the savings of
+// pipeline.Machine.CloneInto.
+func (h *Hierarchy) CloneInto(dst *Hierarchy) *Hierarchy {
+	if dst == nil || dst == h {
+		return h.Clone()
+	}
+	dst.cfg = h.cfg
+	dst.IL1 = h.IL1.CloneInto(dst.IL1)
+	dst.DL1 = h.DL1.CloneInto(dst.DL1)
+	dst.UL2 = h.UL2.CloneInto(dst.UL2)
+	return dst
 }
 
 // Config returns the hierarchy configuration.

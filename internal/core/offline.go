@@ -80,6 +80,7 @@ type OffLine struct {
 	epoch      int
 	lastCommit []uint64
 	epochs     []OffLineEpoch
+	pool       machinePool
 }
 
 // NewOffLine returns an OffLine searcher over m with the paper's default
@@ -153,7 +154,7 @@ func (o *OffLine) RunEpoch() OffLineEpoch {
 	var bestTrial Trial
 	var trials []Trial
 	EnumerateShares(o.M.Threads(), total, o.Stride, func(s resource.Shares) {
-		trial := o.M.Clone()
+		trial := o.pool.cloneFrom(o.M)
 		if o.Trace != nil {
 			// Fresh per-trial recorder: the adopted winner's counters are
 			// exactly this epoch's stall attribution.
@@ -165,15 +166,20 @@ func (o *OffLine) RunEpoch() OffLineEpoch {
 		tr := Trial{Shares: s, Score: o.Metric.Eval(ipc, o.Singles), IPC: ipc}
 		trials = append(trials, tr)
 		if best == nil || tr.Score > bestTrial.Score {
+			o.pool.put(best) // the dethroned leader becomes a pool machine
 			best = trial
 			bestTrial = tr
+		} else {
+			o.pool.put(trial)
 		}
 	})
 	if best == nil {
 		panic("core: share enumeration produced no trials")
 	}
 
+	prev := o.M
 	o.M = best // advance along the winning trial; others cost nothing
+	o.pool.put(prev)
 	committed, ipc := measureEpoch(o.M, base, o.EpochSize)
 	res := OffLineEpoch{
 		EpochResult: EpochResult{
@@ -225,6 +231,7 @@ type RandHill struct {
 	epoch      int
 	epochs     []OffLineEpoch
 	lastAnchor resource.Shares
+	pool       machinePool
 }
 
 // NewRandHill returns a RandHill searcher with the paper's parameters.
@@ -282,7 +289,7 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 	iters := 0
 
 	eval := func(s resource.Shares) Trial {
-		trial := r.M.Clone()
+		trial := r.pool.cloneFrom(r.M)
 		if r.Trace != nil {
 			trial.SetRecorder(telemetry.NewRecorder(trial.Threads()))
 		}
@@ -293,8 +300,11 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 		trials = append(trials, tr)
 		iters++
 		if best == nil || tr.Score > bestTrial.Score {
+			r.pool.put(best)
 			best = trial
 			bestTrial = tr
+		} else {
+			r.pool.put(trial)
 		}
 		return tr
 	}
@@ -327,7 +337,9 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 		}
 	}
 
+	prev := r.M
 	r.M = best
+	r.pool.put(prev)
 	r.lastAnchor = bestTrial.Shares
 	committed, ipc := measureEpoch(r.M, base, r.EpochSize)
 	res := OffLineEpoch{

@@ -1,0 +1,33 @@
+package core
+
+import "smthill/internal/pipeline"
+
+// machinePool recycles trial checkpoint machines across epochs for the
+// checkpoint-based searchers. OffLine and RandHill clone the live machine
+// once per candidate partitioning — over a hundred times per epoch — and
+// a fresh Clone copies half a megabyte of cache, predictor, and slab
+// state into brand-new allocations every time. The pool keeps retired
+// trial machines and refills them in place with CloneInto, so the steady
+// state of a search epoch allocates almost nothing.
+type machinePool struct {
+	free []*pipeline.Machine
+}
+
+// cloneFrom returns an independent copy of src: a pooled machine refilled
+// in place when one is available, a fresh Clone otherwise.
+func (p *machinePool) cloneFrom(src *pipeline.Machine) *pipeline.Machine {
+	if n := len(p.free); n > 0 {
+		dst := p.free[n-1]
+		p.free = p.free[:n-1]
+		return src.CloneInto(dst)
+	}
+	return src.Clone()
+}
+
+// put returns a machine to the pool for reuse. nil is ignored so callers
+// can recycle "previous best" pointers unconditionally.
+func (p *machinePool) put(m *pipeline.Machine) {
+	if m != nil {
+		p.free = append(p.free, m)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"smthill/internal/core"
 	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
 	"smthill/internal/resource"
 	"smthill/internal/workload"
 )
@@ -50,13 +51,15 @@ func Figure12(cfg Config, w workload.Workload) []Figure12Row {
 
 	total := m.Resources().Sizes()[renameKind]
 	rows := make([]Figure12Row, 0, cfg.Epochs)
+	var scratch *pipeline.Machine // reused across probe trials via CloneInto
 	for e := 0; e < cfg.Epochs; e++ {
 		// Exhaustive search of this epoch from the hill-climber's state.
 		base := commitVector(m)
 		var curve []float64
 		bestShare, bestScore := 0, -1.0
 		core.EnumerateShares(w.Threads(), total, cfg.OffLineStride, func(s resource.Shares) {
-			trial := m.Clone()
+			scratch = m.CloneInto(scratch)
+			trial := scratch
 			trial.Resources().SetShares(s)
 			trial.CycleN(cfg.EpochSize)
 			score := metrics.WeightedIPC.Eval(ipcSince(trial, base, cfg.EpochSize), singles)

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"smthill/internal/core"
+	"smthill/internal/pipeline"
 	"smthill/internal/resource"
 	"smthill/internal/workload"
 )
@@ -32,8 +33,10 @@ func Figure2(cfg Config, stride int) []Figure2Point {
 	interval := 32 * 1024
 	var points []Figure2Point
 	total := m.Resources().Sizes()[resource.IntRename]
+	var scratch *pipeline.Machine // reused across trials via CloneInto
 	core.EnumerateShares(3, total, stride, func(s resource.Shares) {
-		trial := m.Clone()
+		scratch = m.CloneInto(scratch)
+		trial := scratch
 		trial.Resources().SetShares(s)
 		base := trial.Stats().Committed
 		trial.CycleN(interval)

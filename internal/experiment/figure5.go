@@ -5,6 +5,7 @@ import (
 
 	"smthill/internal/core"
 	"smthill/internal/metrics"
+	"smthill/internal/pipeline"
 	"smthill/internal/workload"
 )
 
@@ -29,11 +30,13 @@ func Figure5(cfg Config, w workload.Workload) []Figure5Row {
 	o.Stride = cfg.OffLineStride
 
 	rows := make([]Figure5Row, 0, cfg.Epochs)
+	var scratch *pipeline.Machine // reused across baseline trials via CloneInto
 	for e := 0; e < cfg.Epochs; e++ {
 		scores := map[string]float64{}
 		// Baselines run the epoch from OFF-LINE's checkpoint.
 		for _, polName := range baselineNames() {
-			trial := o.M.Clone()
+			scratch = o.M.CloneInto(scratch)
+			trial := scratch
 			trial.SetPolicy(pipelinePolicy(polName))
 			trial.Resources().ClearPartitions()
 			base := commitVector(trial)

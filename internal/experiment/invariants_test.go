@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"testing"
+
+	"smthill/internal/workload"
+)
+
+// TestFigure9UnderInvariantChecks runs a small fig9 configuration — the
+// on-line hill-climber against the baselines, on a 2-thread and a
+// 4-thread MEM4 workload — with per-cycle invariant checking enabled on
+// every machine. This is the in-process form of the Makefile's
+// `experiments -check ... fig9` smoke: resource conservation,
+// program-order commit, and the wakeup/ready-queue invariants must hold
+// on the real experiment path (including every checkpoint trial cloned
+// inside the searchers), not just in unit fixtures. A violation panics.
+func TestFigure9UnderInvariantChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (small) fig9 sweep with per-cycle checks")
+	}
+	workload.CheckMachines = true
+	defer func() { workload.CheckMachines = false }()
+
+	cfg := tiny()
+	cfg.Epochs = 3
+	loads := []workload.Workload{
+		workload.ByName("art-mcf"),
+		workload.ByName("ammp-applu-art-mcf"),
+	}
+	rows := Figure9(cfg, loads)
+	if len(rows) != len(loads) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(loads))
+	}
+	for _, r := range rows {
+		if r.Scores["HILL"] <= 0 {
+			t.Errorf("%s: HILL score %.3f, want > 0", r.Workload, r.Scores["HILL"])
+		}
+	}
+}

@@ -166,3 +166,14 @@ type Stream interface {
 	// CloneStream returns a deep copy positioned at the same point.
 	CloneStream() Stream
 }
+
+// ReusableStream is an optional Stream extension for allocation-free
+// checkpointing: CloneStreamInto overwrites dst — a stream previously
+// produced by CloneStream (or CloneStreamInto) of the same source — with
+// a deep copy positioned at the receiver's point, reusing dst's backing
+// storage. It reports false, leaving dst untouched, when dst is not a
+// compatible destination, and the caller must fall back to CloneStream.
+type ReusableStream interface {
+	Stream
+	CloneStreamInto(dst Stream) bool
+}

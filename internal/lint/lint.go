@@ -24,6 +24,11 @@
 //   - float-compare (floatcmp.go): forbid ==/!= on floating-point
 //     expressions outside _test.go files (sentinel comparisons against
 //     exact zero are allowed).
+//   - hotalloc (hotalloc.go): every append/make reachable from
+//     Machine.Cycle's intra-package call graph must carry an ignore
+//     justification — the steady-state zero-allocation contract of the
+//     cycle path, enforced statically alongside the AllocsPerRun
+//     regression test.
 //
 // Rules are individually constructable and configurable so tests can
 // point them at fixture packages; DefaultRules returns the project
@@ -79,6 +84,7 @@ func DefaultRules() []Rule {
 		NewMapOrderRule(),
 		NewRecorderGuardRule(),
 		NewFloatCompareRule(),
+		NewHotAllocRule(),
 	}
 }
 

@@ -167,6 +167,50 @@ func TestFloatCompareRuleWithoutZeroExemption(t *testing.T) {
 	}
 }
 
+func hotAllocRule(path string) *HotAllocRule {
+	return &HotAllocRule{
+		Packages: []string{"testdata/src/" + path},
+		RootRecv: "Machine",
+		RootName: "Cycle",
+		Cold:     []string{"record"},
+	}
+}
+
+func TestHotAllocRuleFires(t *testing.T) {
+	p := fixture(t, "hotallocbad")
+	got := hotAllocRule("hotallocbad").Check(p)
+	wantFindings(t, got, []struct {
+		line int
+		sub  string
+	}{
+		{18, "append"}, // direct callee of Cycle
+		{24, "append"}, // two levels deep via helper -> grow
+		{24, "make"},   // nested inside the append call
+	})
+	// The chain rendering names the discovery path from the root.
+	if !strings.Contains(got[1].Msg, "Machine.Cycle -> Machine.helper -> Machine.grow") {
+		t.Errorf("finding msg %q does not show the call chain", got[1].Msg)
+	}
+}
+
+func TestHotAllocRuleSilentOnFixedForm(t *testing.T) {
+	p := fixture(t, "hotallocok")
+	// Run (not Check) so the ignore directive in the fixture applies; the
+	// cold telemetry path and the unreachable reset are exempt by design.
+	if got := Run([]Rule{hotAllocRule("hotallocok")}, []*Package{p}); len(got) != 0 {
+		t.Fatalf("unexpected findings on fixed form: %v", got)
+	}
+}
+
+func TestHotAllocRuleRespectsPackageSelection(t *testing.T) {
+	p := fixture(t, "hotallocbad")
+	r := hotAllocRule("hotallocbad")
+	r.Packages = []string{"internal/pipeline"}
+	if got := r.Check(p); len(got) != 0 {
+		t.Fatalf("rule fired outside its package selection: %v", got)
+	}
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	p := fixture(t, "ignored")
 	got := Run([]Rule{&NondetRule{}}, []*Package{p})

@@ -1,0 +1,33 @@
+// Package hotallocbad exercises the hotalloc rule: allocation builtins
+// reachable from the hot-loop root without a justification directive.
+package hotallocbad
+
+// Machine mimics the simulator's hot-loop owner.
+type Machine struct {
+	buf  []int
+	ring [][]int
+}
+
+// Cycle is the hot-loop root the rule walks from.
+func (m *Machine) Cycle() {
+	m.step()
+	m.helper()
+}
+
+func (m *Machine) step() {
+	m.buf = append(m.buf, 1) // flagged: direct callee of Cycle
+}
+
+func (m *Machine) helper() { m.grow() }
+
+func (m *Machine) grow() {
+	m.ring = append(m.ring, make([]int, 4)) // flagged twice: append and make
+}
+
+// cold is never called from Cycle, so its allocation is not reported.
+func (m *Machine) cold() {
+	m.buf = append(m.buf, 2)
+}
+
+// use keeps cold referenced without putting it on the hot path.
+var use = (*Machine).cold

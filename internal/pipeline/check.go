@@ -148,7 +148,7 @@ func (m *Machine) CheckInvariants() error {
 	robSet := map[int32]bool{}
 	for th := range m.threads {
 		var prevSeq uint64
-		for i, r := range m.threads[th].rob {
+		for i, r := range m.threads[th].liveROB() {
 			e := m.get(r)
 			if e == nil {
 				return fmt.Errorf("thread %d ROB[%d] is stale", th, i)
@@ -218,6 +218,89 @@ func (m *Machine) CheckInvariants() error {
 		}
 		if m.threads[th].outstandingDMiss != dm {
 			return fmt.Errorf("thread %d outstandingDMiss %d, slab says %d", th, m.threads[th].outstandingDMiss, dm)
+		}
+	}
+
+	// Wakeup bookkeeping. Walk every live producer's consumer chain:
+	// each link must name a live consumer whose wait bit for the linked
+	// operand slot is set and whose source ref for that slot points back
+	// at the producer.
+	registered := map[wakeRef]bool{}
+	for i := range m.slab {
+		pIdx := int32(i)
+		if !live[pIdx] {
+			continue
+		}
+		p := &m.slab[pIdx]
+		for l := p.wakeHead; l.gen != 0; {
+			c := m.get(ref{idx: l.idx, gen: l.gen})
+			if c == nil {
+				return fmt.Errorf("slot %d wakeup chain holds a stale link", pIdx)
+			}
+			if c.waitMask&(1<<l.slot) == 0 {
+				return fmt.Errorf("slot %d wakeup chain links slot %d operand %d whose wait bit is clear", pIdx, l.idx, l.slot)
+			}
+			src := c.src1
+			if l.slot == 1 {
+				src = c.src2
+			}
+			if src.idx != pIdx || m.slab[pIdx].gen != src.gen {
+				return fmt.Errorf("slot %d wakeup chain links slot %d operand %d which reads a different producer", pIdx, l.idx, l.slot)
+			}
+			if registered[l] {
+				return fmt.Errorf("slot %d operand %d registered twice", l.idx, l.slot)
+			}
+			registered[l] = true
+			l = c.wakeNext[l.slot]
+		}
+	}
+	// Conversely: every live instruction's set wait bit has exactly one
+	// chain registration (counted above), its producer is live and not
+	// done, and done or issued instructions wait on nothing. Live,
+	// unissued instructions with no pending operands must be in the ready
+	// queue.
+	inReady := map[ref]int{}
+	var prevStamp uint64
+	for i, ent := range m.readyQ {
+		inReady[ent.r]++
+		if i > 0 && ent.stamp <= prevStamp {
+			return fmt.Errorf("ready queue out of stamp order at %d", i)
+		}
+		prevStamp = ent.stamp
+	}
+	for i := range m.slab {
+		idx := int32(i)
+		if !live[idx] {
+			continue
+		}
+		e := &m.slab[idx]
+		r := ref{idx: idx, gen: e.gen}
+		if (e.issued || e.done) && e.waitMask != 0 {
+			return fmt.Errorf("slot %d issued/done but still waiting on operands (mask %#x)", idx, e.waitMask)
+		}
+		for slot := uint8(0); slot < 2; slot++ {
+			reg := wakeRef{idx: idx, gen: e.gen, slot: slot}
+			if e.waitMask&(1<<slot) != 0 {
+				if !registered[reg] {
+					return fmt.Errorf("slot %d operand %d wait bit set but not on its producer's chain", idx, slot)
+				}
+				src := e.src1
+				if slot == 1 {
+					src = e.src2
+				}
+				p := m.get(src)
+				if p == nil || p.done {
+					return fmt.Errorf("slot %d operand %d waits on an unavailable producer", idx, slot)
+				}
+			} else if registered[reg] {
+				return fmt.Errorf("slot %d operand %d on a wakeup chain but wait bit clear", idx, slot)
+			}
+		}
+		if !e.issued && e.waitMask == 0 && inReady[r] != 1 {
+			return fmt.Errorf("slot %d ready but has %d ready-queue entries", idx, inReady[r])
+		}
+		if e.issued && inReady[r] != 0 {
+			return fmt.Errorf("slot %d issued but still in the ready queue", idx)
 		}
 	}
 

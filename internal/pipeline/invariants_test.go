@@ -44,7 +44,7 @@ func TestInvariantsUnderRandomizedStress(t *testing.T) {
 			if c%211 == 0 {
 				// Random flush of a random thread.
 				th := r.Intn(threads)
-				if rob := m.threads[th].rob; len(rob) > 1 {
+				if rob := m.threads[th].liveROB(); len(rob) > 1 {
 					cut := rob[r.Intn(len(rob))]
 					if e := m.get(cut); e != nil {
 						m.FlushAfter(th, e.inst.Seq)

@@ -40,6 +40,23 @@ type ref struct {
 // live generation).
 var noRef = ref{-1, 0}
 
+// wakeRef is one link in a producer's intrusive wakeup chain: it names a
+// consumer slot plus which of the consumer's two source operands the
+// producer feeds, so the chain can continue through the consumer's
+// wakeNext[slot]. The zero value (gen 0) terminates a chain.
+type wakeRef struct {
+	idx  int32
+	gen  uint32
+	slot uint8
+}
+
+// readyEnt is one ready-queue entry: an instruction whose operands are
+// all available, keyed by its dispatch stamp for age ordering.
+type readyEnt struct {
+	r     ref
+	stamp uint64
+}
+
 // inflight is one instruction between dispatch and commit.
 type inflight struct {
 	gen    uint32
@@ -55,6 +72,19 @@ type inflight struct {
 	// prevDest is the rename-table entry displaced by this instruction's
 	// destination, restored on squash.
 	prevDest ref
+
+	// stamp is the instruction's global dispatch order, the age key of
+	// the ready queue.
+	stamp uint64
+	// wakeHead is the head of this instruction's consumer chain: in-flight
+	// instructions to wake when it completes. wakeNext holds this
+	// instruction's own links within its producers' chains, one per
+	// source operand; waitMask has bit s set while operand s's
+	// registration is outstanding (waitMask == 0 means all operands
+	// available).
+	wakeHead wakeRef
+	wakeNext [2]wakeRef
+	waitMask uint8
 
 	// dmiss marks a load that missed in the DL1; l2miss marks a load
 	// that also missed in the L2 (memory-bound).
@@ -88,8 +118,12 @@ type threadState struct {
 	// mispredicted branch when mispredictPending is set.
 	mispredictSeq uint64
 
-	// rob holds refs in dispatch order awaiting commit.
-	rob []ref
+	// rob holds refs in dispatch order awaiting commit; entries before
+	// robHead are retired and reclaimed by periodic in-place compaction
+	// (re-slicing from the front would leak backing-array capacity and
+	// re-allocate in steady state).
+	rob     []ref
+	robHead int
 
 	// Rename map: architectural register -> producing in-flight
 	// instruction. Index 0..31 integer, 32..63 floating point.
@@ -129,6 +163,9 @@ type threadState struct {
 	// stats holds the thread's pipeline counters.
 	stats ThreadStats
 }
+
+// liveROB returns the thread's in-flight ROB entries, oldest first.
+func (t *threadState) liveROB() []ref { return t.rob[t.robHead:] }
 
 // ThreadStats aggregates one thread's pipeline counters (monotonic).
 // Machine-wide totals are derived with Total.
@@ -194,9 +231,14 @@ type Machine struct {
 	slab []inflight
 	free []int32
 
-	// waiting holds dispatched-but-not-issued instructions in dispatch
-	// (age) order; the issue stage scans it oldest-first.
-	waiting []ref
+	// readyQ holds dispatched, unissued instructions whose operands are
+	// all available, sorted by dispatch stamp; the issue stage scans it
+	// oldest-first. Instructions still waiting on operands are not queued
+	// anywhere — they sit on their producers' wakeup chains until the
+	// writeback stage wakes them.
+	readyQ []readyEnt
+	// dispStamp is the next global dispatch stamp.
+	dispStamp uint64
 
 	// done[c % len(done)] lists instructions completing at cycle c.
 	doneRing [][]ref
@@ -287,7 +329,7 @@ func New(cfg Config, streams []isa.Stream, pol Policy) *Machine {
 		bp:            bpred.New(cfg.Bpred),
 		slab:          make([]inflight, slabSize),
 		free:          make([]int32, 0, slabSize),
-		doneRing:      make([][]ref, 512),
+		doneRing:      newRing(512),
 		policy:        pol,
 		threads:       make([]threadState, cfg.Threads),
 		fetchDisabled: make([]bool, cfg.Threads),
@@ -312,6 +354,26 @@ func New(cfg Config, streams []isa.Stream, pol Policy) *Machine {
 	return m
 }
 
+// ringSlotCap is each completion-ring slot's pre-provisioned capacity,
+// carved from one shared arena. A slot holds the instructions completing
+// at one cycle; the observed high-water mark is about half this, so
+// steady state never grows a slot (append past the arena cap would
+// detach the slot onto its own backing — correct, just allocating).
+const ringSlotCap = 32
+
+// newRing builds an n-slot completion ring whose slot backings all live
+// in a single arena allocation, each with length 0 and fixed capacity
+// ringSlotCap (three-index slicing keeps an overflowing append from
+// bleeding into the next slot).
+func newRing(n int) [][]ref {
+	arena := make([]ref, n*ringSlotCap)
+	ring := make([][]ref, n)
+	for i := range ring {
+		ring[i] = arena[i*ringSlotCap : i*ringSlotCap : (i+1)*ringSlotCap]
+	}
+	return ring
+}
+
 // Clone returns a deep copy of the machine: an execution checkpoint.
 // Advancing the clone and the original produces identical, independent
 // executions. The telemetry recorder is deliberately NOT carried over: a
@@ -325,13 +387,14 @@ func (m *Machine) Clone() *Machine {
 	c.mem = m.mem.Clone()
 	c.bp = m.bp.Clone()
 	c.slab = append([]inflight(nil), m.slab...)
-	c.free = append([]int32(nil), m.free...)
-	c.waiting = append([]ref(nil), m.waiting...)
-	c.doneRing = make([][]ref, len(m.doneRing))
+	// Give the free list its full steady-state capacity up front so the
+	// clone's release path never re-allocates it.
+	c.free = make([]int32, len(m.free), len(m.slab))
+	copy(c.free, m.free)
+	c.readyQ = append([]readyEnt(nil), m.readyQ...)
+	c.doneRing = newRing(len(m.doneRing))
 	for i, evs := range m.doneRing {
-		if len(evs) > 0 {
-			c.doneRing[i] = append([]ref(nil), evs...)
-		}
+		c.doneRing[i] = append(c.doneRing[i], evs...)
 	}
 	c.policy = m.policy.Clone()
 	c.fetchDisabled = append([]bool(nil), m.fetchDisabled...)
@@ -347,6 +410,69 @@ func (m *Machine) Clone() *Machine {
 		c.threads[i] = t
 	}
 	return &c
+}
+
+// CloneInto copies the machine's state into dst, a machine previously
+// produced by Clone or CloneInto of a same-shaped machine (same config,
+// thread count, and structure sizes), and returns dst. It is the pooled
+// variant of Clone: every slice and table in dst is overwritten in place,
+// so a checkpoint loop that recycles trial machines performs no
+// steady-state allocation. dst's previous contents are destroyed; like
+// Clone, the telemetry recorder is not carried over. A nil dst falls back
+// to a fresh Clone, so `dst = src.CloneInto(dst)` is the idiomatic loop
+// body.
+func (m *Machine) CloneInto(dst *Machine) *Machine {
+	if dst == nil || dst == m {
+		return m.Clone()
+	}
+	if len(dst.threads) != len(m.threads) || len(dst.slab) != len(m.slab) ||
+		len(dst.doneRing) != len(m.doneRing) {
+		panic("pipeline: CloneInto destination shape mismatch")
+	}
+	dst.cfg = m.cfg
+	dst.now = m.now
+	dst.cycles = m.cycles
+	dst.stallUntil = m.stallUntil
+	dst.dispStamp = m.dispStamp
+	dst.rec = nil
+	dst.res = m.res.CloneInto(dst.res)
+	dst.mem = m.mem.CloneInto(dst.mem)
+	dst.bp = m.bp.CloneInto(dst.bp)
+	copy(dst.slab, m.slab)
+	dst.free = append(dst.free[:0], m.free...)
+	dst.readyQ = append(dst.readyQ[:0], m.readyQ...)
+	for i := range m.doneRing {
+		dst.doneRing[i] = append(dst.doneRing[i][:0], m.doneRing[i]...)
+	}
+	dst.policy = m.policy.Clone()
+	copy(dst.fetchDisabled, m.fetchDisabled)
+	if m.inv != nil {
+		dst.inv = m.inv.clone()
+	} else {
+		dst.inv = nil
+	}
+	for i := range m.threads {
+		s := &m.threads[i]
+		d := &dst.threads[i]
+		pending, rob, stream := d.pending, d.rob, d.stream
+		*d = *s
+		d.pending = append(pending[:0], s.pending...)
+		d.rob = append(rob[:0], s.rob...)
+		d.stream = cloneStreamInto(s.stream, stream)
+	}
+	return dst
+}
+
+// cloneStreamInto copies src's stream state into dst's backing storage
+// when the stream supports in-place cloning and dst is compatible,
+// falling back to an allocating CloneStream otherwise.
+func cloneStreamInto(src, dst isa.Stream) isa.Stream {
+	if r, ok := src.(isa.ReusableStream); ok && dst != nil {
+		if r.CloneStreamInto(dst) {
+			return dst
+		}
+	}
+	return src.CloneStream()
 }
 
 // Config returns the machine configuration.
@@ -502,6 +628,7 @@ func (m *Machine) alloc() (ref, *inflight) {
 func (m *Machine) release(r ref) {
 	e := &m.slab[r.idx]
 	e.gen++
+	//smtlint:ignore hotalloc free list capacity is fixed at the slab size; this append never grows it
 	m.free = append(m.free, r.idx)
 }
 

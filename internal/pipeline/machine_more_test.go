@@ -19,8 +19,8 @@ func TestPendingCompaction(t *testing.T) {
 	}
 	// Flush after compaction must still rewind correctly.
 	tst := &m.threads[0]
-	if len(tst.rob) > 2 {
-		headSeq := m.slab[tst.rob[0].idx].inst.Seq
+	if len(tst.liveROB()) > 2 {
+		headSeq := m.slab[tst.liveROB()[0].idx].inst.Seq
 		before := m.Committed(0)
 		m.FlushAfter(0, headSeq)
 		m.CycleN(5_000)
@@ -98,8 +98,8 @@ func TestSlabNeverLeaks(t *testing.T) {
 	m := New(DefaultConfig(1), streams, nil)
 	for i := 0; i < 400_000 && !m.Done(); i++ {
 		m.Cycle()
-		if i%5_000 == 0 && len(m.threads[0].rob) > 1 {
-			headSeq := m.slab[m.threads[0].rob[0].idx].inst.Seq
+		if i%5_000 == 0 && len(m.threads[0].liveROB()) > 1 {
+			headSeq := m.slab[m.threads[0].liveROB()[0].idx].inst.Seq
 			m.FlushAfter(0, headSeq)
 		}
 	}

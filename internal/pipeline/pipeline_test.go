@@ -239,12 +239,12 @@ func TestFlushAfterSquashesAndReplays(t *testing.T) {
 	// Flush everything of thread 0 younger than its oldest in-flight
 	// instruction's seq + 1.
 	tst := &m.threads[0]
-	if len(tst.rob) < 4 {
+	if len(tst.liveROB()) < 4 {
 		t.Skip("thread 0 has too few in-flight instructions to flush")
 	}
-	headSeq := m.slab[tst.rob[0].idx].inst.Seq
+	headSeq := m.slab[tst.liveROB()[0].idx].inst.Seq
 	m.FlushAfter(0, headSeq)
-	if got := len(tst.rob); got != 1 {
+	if got := len(tst.liveROB()); got != 1 {
 		t.Fatalf("ROB holds %d entries after flush, want 1", got)
 	}
 	if m.Stats().Squashed == 0 {
@@ -262,8 +262,8 @@ func TestFlushPreservesDeterminism(t *testing.T) {
 	// identically from a clone.
 	m := newMachine(t, 2, []trace.Profile{memProfile(3), ilpProfile(4)}, nil)
 	m.CycleN(8_000)
-	if len(m.threads[0].rob) > 2 {
-		headSeq := m.slab[m.threads[0].rob[0].idx].inst.Seq
+	if len(m.threads[0].liveROB()) > 2 {
+		headSeq := m.slab[m.threads[0].liveROB()[0].idx].inst.Seq
 		m.FlushAfter(0, headSeq)
 	}
 	c := m.Clone()

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"sort"
+
 	"smthill/internal/isa"
 	"smthill/internal/resource"
 )
@@ -9,6 +11,12 @@ import (
 // dispatch, fetch, then the attached policy's per-cycle hook. With a
 // telemetry recorder attached, the cycle's stall attribution is recorded
 // last, after all stages have settled.
+//
+// The steady-state loop is allocation-free: every slice it touches
+// (ROB, pending buffers, ready queue, completion ring, slab free list)
+// reaches a stable capacity and is recycled in place. The smtlint
+// hotalloc rule guards that contract statically; the AllocsPerRun test
+// in alloc_test.go guards it dynamically.
 func (m *Machine) Cycle() {
 	stalled := m.now < m.stallUntil
 	m.commit(stalled)
@@ -41,7 +49,7 @@ func (m *Machine) CycleN(n int) {
 func (m *Machine) Done() bool {
 	for i := range m.threads {
 		t := &m.threads[i]
-		if !t.exhausted || len(t.rob) > 0 || t.fetchCur < len(t.pending) || t.dispatchCur < t.fetchCur {
+		if !t.exhausted || len(t.rob) > t.robHead || t.fetchCur < len(t.pending) || t.dispatchCur < t.fetchCur {
 			return false
 		}
 	}
@@ -74,10 +82,10 @@ func (m *Machine) commit(stalled bool) {
 // commitOne retires thread th's oldest instruction if it has completed.
 func (m *Machine) commitOne(th int) bool {
 	t := &m.threads[th]
-	if len(t.rob) == 0 {
+	if t.robHead >= len(t.rob) {
 		return false
 	}
-	r := t.rob[0]
+	r := t.rob[t.robHead]
 	e := m.get(r)
 	if e == nil {
 		panic("pipeline: stale ref at ROB head")
@@ -103,7 +111,16 @@ func (m *Machine) commitOne(th int) bool {
 		m.res.Free(th, resource.FpRename)
 	}
 	m.res.Free(th, resource.ROB)
-	t.rob = t.rob[1:]
+	t.robHead++
+	// Compact the ROB's dead prefix in place instead of re-slicing from
+	// the front: advancing the slice start would burn backing-array
+	// capacity linearly and force a fresh allocation every few hundred
+	// commits.
+	if t.robHead >= 256 {
+		n := copy(t.rob, t.rob[t.robHead:])
+		t.rob = t.rob[:n]
+		t.robHead = 0
+	}
 	m.release(r)
 
 	t.bbv[int(in.BB)%BBVEntries]++
@@ -134,6 +151,7 @@ func (m *Machine) writeback() {
 			continue // squashed and possibly reallocated; drop the event
 		}
 		e.done = true
+		m.wake(e)
 		th := int(e.thread)
 		t := &m.threads[th]
 		switch e.inst.Class {
@@ -173,50 +191,135 @@ func (m *Machine) schedule(r ref, lat int) {
 		lat = len(m.doneRing) - 1 // ring bounds the maximum modelled latency
 	}
 	slot := int((m.now + uint64(lat)) % uint64(len(m.doneRing)))
+	//smtlint:ignore hotalloc ring slot reaches its high-water capacity and is recycled with events[:0]
 	m.doneRing[slot] = append(m.doneRing[slot], r)
+}
+
+// --------------------------------------------------------------- wakeup
+
+// subscribe registers the consumer (r, e) on the wakeup chain of the
+// producer guarding operand slot (0 = src1, 1 = src2). It is a no-op
+// when the operand is already available (producer completed, committed,
+// or squashed). The chain is intrusive: the link for a registration
+// lives in the consumer's wakeNext[slot], so no memory is allocated.
+func (m *Machine) subscribe(r ref, e *inflight, slot uint8, src ref) {
+	p := m.get(src)
+	if p == nil || p.done {
+		return
+	}
+	e.wakeNext[slot] = p.wakeHead
+	p.wakeHead = wakeRef{idx: r.idx, gen: r.gen, slot: slot}
+	e.waitMask |= 1 << slot
+}
+
+// unsubscribe removes the consumer (r, e)'s registration for operand
+// slot from its producer's wakeup chain. Called on squash, before the
+// consumer's slot is released; the producer is necessarily still live
+// and incomplete (a completed producer would already have woken and
+// deregistered the consumer).
+func (m *Machine) unsubscribe(r ref, e *inflight, slot uint8) {
+	src := e.src1
+	if slot == 1 {
+		src = e.src2
+	}
+	p := m.get(src)
+	if p == nil {
+		panic("pipeline: registered operand has no live producer")
+	}
+	tgt := wakeRef{idx: r.idx, gen: r.gen, slot: slot}
+	if p.wakeHead == tgt {
+		p.wakeHead = e.wakeNext[slot]
+	} else {
+		l := p.wakeHead
+		for {
+			if l.gen == 0 {
+				panic("pipeline: wakeup registration missing from producer chain")
+			}
+			n := &m.slab[l.idx].wakeNext[l.slot]
+			if *n == tgt {
+				*n = e.wakeNext[slot]
+				break
+			}
+			l = *n
+		}
+	}
+	e.wakeNext[slot] = wakeRef{}
+	e.waitMask &^= 1 << slot
+}
+
+// wake walks the completing instruction's consumer chain, clearing each
+// consumer's wait bit; a consumer whose last pending operand this was
+// enters the ready queue. Chains contain only live registrations —
+// squash deregisters explicitly — so a generation mismatch is a
+// bookkeeping bug, not a benign stale ref.
+func (m *Machine) wake(e *inflight) {
+	l := e.wakeHead
+	e.wakeHead = wakeRef{}
+	for l.gen != 0 {
+		c := &m.slab[l.idx]
+		if c.gen != l.gen {
+			panic("pipeline: stale wakeup link")
+		}
+		next := c.wakeNext[l.slot]
+		c.wakeNext[l.slot] = wakeRef{}
+		c.waitMask &^= 1 << l.slot
+		if c.waitMask == 0 {
+			m.pushReady(ref{idx: l.idx, gen: l.gen}, c.stamp)
+		}
+		l = next
+	}
+}
+
+// pushReady inserts a woken instruction into the ready queue, keeping
+// the queue sorted by dispatch stamp so issue scans strictly oldest
+// first — the same age priority the former full-window scan had.
+func (m *Machine) pushReady(r ref, stamp uint64) {
+	q := m.readyQ
+	i := sort.Search(len(q), func(j int) bool { return q[j].stamp > stamp })
+	//smtlint:ignore hotalloc queue capacity is bounded by window occupancy and recycled via readyQ[:0]
+	q = append(q, readyEnt{})
+	copy(q[i+1:], q[i:])
+	q[i] = readyEnt{r: r, stamp: stamp}
+	m.readyQ = q
 }
 
 // ----------------------------------------------------------------- issue
 
+// issue scans only the ready queue — instructions whose operands have
+// all been produced — in dispatch-age order. Entries it cannot issue
+// (functional unit contention, issue-width exhaustion) stay queued;
+// squashed entries are dropped. Waiting instructions whose operands are
+// still in flight never reach this loop: they sit on their producers'
+// wakeup chains, so the per-cycle cost is O(ready), not O(window).
 func (m *Machine) issue() {
 	budget := m.cfg.IssueWidth
 	fu := m.cfg.FUs // per-cycle copy; decremented as units are claimed
-	out := m.waiting[:0]
-	for i, r := range m.waiting {
-		e := m.get(r)
-		if e == nil {
-			continue // squashed; drop from the window
+	out := m.readyQ[:0]
+	for i, ent := range m.readyQ {
+		e := m.get(ent.r)
+		if e == nil || e.issued {
+			continue // squashed (and possibly reallocated); drop the entry
 		}
 		if budget == 0 {
-			out = append(out, m.waiting[i:]...)
+			//smtlint:ignore hotalloc out reuses readyQ's backing array and never outgrows it
+			out = append(out, m.readyQ[i:]...)
 			break
 		}
-		if !e.issued && m.tryIssue(r, e, &fu) {
+		if m.tryIssue(ent.r, e, &fu) {
 			budget--
 			continue
 		}
-		out = append(out, r)
+		//smtlint:ignore hotalloc out reuses readyQ's backing array and never outgrows it
+		out = append(out, ent)
 	}
-	m.waiting = out
+	m.readyQ = out
 }
 
-// tryIssue issues one instruction if its operands are ready and a
-// functional unit is free. It returns true when the instruction left the
-// window. Once an operand is observed ready its ref is cleared, so
-// subsequent scans of a still-waiting instruction skip the slab lookup.
+// tryIssue issues one ready instruction if a functional unit of its
+// class is free. It returns true when the instruction left the window.
+// Operand readiness is a precondition: only woken instructions are in
+// the ready queue.
 func (m *Machine) tryIssue(r ref, e *inflight, fu *FUConfig) bool {
-	if e.src1.idx >= 0 {
-		if !m.ready(e.src1) {
-			return false
-		}
-		e.src1 = noRef
-	}
-	if e.src2.idx >= 0 {
-		if !m.ready(e.src2) {
-			return false
-		}
-		e.src2 = noRef
-	}
 	th := int(e.thread)
 	t := &m.threads[th]
 	in := &e.inst
@@ -344,7 +447,9 @@ func (m *Machine) dispatchOne(th int) bool {
 		src1:    noRef,
 		src2:    noRef,
 		holdsIQ: resource.NumKinds,
+		stamp:   m.dispStamp,
 	}
+	m.dispStamp++
 
 	m.res.Alloc(th, resource.ROB)
 	if iq != resource.NumKinds {
@@ -364,15 +469,18 @@ func (m *Machine) dispatchOne(th int) bool {
 		e.holdsFpR = true
 	}
 
-	// Resolve source operands against the rename map. FP arithmetic
-	// reads the FP file; loads and stores address (and, for stores,
-	// source their data) through the integer file.
+	// Resolve source operands against the rename map and register on the
+	// producers' wakeup chains. FP arithmetic reads the FP file; loads
+	// and stores address (and, for stores, source their data) through
+	// the integer file.
 	srcFp := in.Class.IsFp()
 	if in.Src1 != isa.NoReg {
 		e.src1 = t.rename[renameIdx(in.Src1, srcFp)]
+		m.subscribe(r, e, 0, e.src1)
 	}
 	if in.Src2 != isa.NoReg {
 		e.src2 = t.rename[renameIdx(in.Src2, srcFp)]
+		m.subscribe(r, e, 1, e.src2)
 	}
 	// Claim the destination.
 	if in.HasDest() {
@@ -384,8 +492,15 @@ func (m *Machine) dispatchOne(th int) bool {
 		e.mispredicted = true
 	}
 
+	//smtlint:ignore hotalloc ROB capacity is bounded by the partition limits and recycled by the robHead compaction
 	t.rob = append(t.rob, r)
-	m.waiting = append(m.waiting, r)
+	if e.waitMask == 0 {
+		// All operands available at dispatch. The stamp just assigned is
+		// the global maximum, so appending preserves the ready queue's
+		// age order.
+		//smtlint:ignore hotalloc queue capacity is bounded by window occupancy and recycled via readyQ[:0]
+		m.readyQ = append(m.readyQ, readyEnt{r: r, stamp: e.stamp})
+	}
 	t.dispatchCur++
 	t.stats.Dispatched++
 	return true
@@ -461,14 +576,18 @@ func (m *Machine) fetchThread(th int, budget int) int {
 		if !m.canFetch(th) {
 			break
 		}
-		// Refill the pending buffer from the stream if needed.
+		// Refill the pending buffer from the stream if needed. The stream
+		// decodes straight into the appended slot: a local scratch Inst
+		// would escape through the interface call and put one heap
+		// allocation on every fetch.
 		if t.fetchCur >= len(t.pending) {
-			var in isa.Inst
-			if !t.stream.Next(&in) {
+			//smtlint:ignore hotalloc pending capacity is bounded by the in-flight window plus the compaction threshold
+			t.pending = append(t.pending, isa.Inst{})
+			if !t.stream.Next(&t.pending[len(t.pending)-1]) {
 				t.exhausted = true
+				t.pending = t.pending[:len(t.pending)-1]
 				break
 			}
-			t.pending = append(t.pending, in)
 		}
 		in := &t.pending[t.fetchCur]
 		pc := t.addrBase + in.PC
@@ -515,7 +634,7 @@ func (m *Machine) FlushAfter(th int, seq uint64) {
 	t := &m.threads[th]
 	// Walk the ROB tail (youngest first), squashing while Seq > seq.
 	squashed := 0
-	for len(t.rob) > 0 {
+	for len(t.rob) > t.robHead {
 		r := t.rob[len(t.rob)-1]
 		e := m.get(r)
 		if e == nil {
@@ -552,8 +671,8 @@ func (m *Machine) FlushAfter(th int, seq uint64) {
 }
 
 // squash undoes one in-flight instruction: restores the rename map,
-// releases occupancy, and frees the slab slot (which invalidates any
-// window or completion-ring references).
+// deregisters pending wakeups, releases occupancy, and frees the slab
+// slot (which invalidates any ready-queue or completion-ring references).
 func (m *Machine) squash(th int, r ref, e *inflight) {
 	t := &m.threads[th]
 	in := &e.inst
@@ -562,6 +681,19 @@ func (m *Machine) squash(th int, r ref, e *inflight) {
 		if cur := t.rename[di]; cur == r {
 			t.rename[di] = e.prevDest
 		}
+	}
+	// A flush squashes the ROB tail youngest-first and dependences only
+	// point backwards within a thread, so every consumer of e was
+	// squashed (and deregistered) before e itself; its chain must be
+	// empty by now.
+	if e.wakeHead.gen != 0 {
+		panic("pipeline: squashing a producer with live consumers")
+	}
+	if e.waitMask&1 != 0 {
+		m.unsubscribe(r, e, 0)
+	}
+	if e.waitMask&2 != 0 {
+		m.unsubscribe(r, e, 1)
 	}
 	if e.holdsIQ == resource.IntIQ || e.holdsIQ == resource.FpIQ {
 		m.res.Free(th, e.holdsIQ)

@@ -209,6 +209,24 @@ func (t *Table) Clone() *Table {
 	return &c
 }
 
+// CloneInto copies t's state into dst, reusing dst's backing storage, and
+// returns dst. A nil or differently-shaped dst falls back to an
+// allocating Clone.
+func (t *Table) CloneInto(dst *Table) *Table {
+	if dst == nil || dst == t || len(dst.occ) != len(t.occ) {
+		return t.Clone()
+	}
+	occ, limit, shares := dst.occ, dst.limit, dst.shares
+	*dst = *t
+	dst.occ = append(occ[:0], t.occ...)
+	dst.limit = append(limit[:0], t.limit...)
+	dst.shares = append(shares[:0], t.shares...)
+	if t.shares == nil {
+		dst.shares = nil
+	}
+	return dst
+}
+
 // Threads returns the number of hardware contexts tracked.
 func (t *Table) Threads() int { return t.threads }
 

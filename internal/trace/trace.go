@@ -302,6 +302,21 @@ func (g *Gen) CloneStream() isa.Stream {
 	return &c
 }
 
+// CloneStreamInto implements isa.ReusableStream: it overwrites dst (a
+// prior clone of this generator) in place, reusing its branch-state
+// array, so checkpoint recycling performs no allocation.
+func (g *Gen) CloneStreamInto(dst isa.Stream) bool {
+	d, ok := dst.(*Gen)
+	if !ok || d == g || len(d.branches) != len(g.branches) {
+		return false
+	}
+	branches := d.branches
+	*d = *g
+	d.branches = branches
+	copy(d.branches, g.branches)
+	return true
+}
+
 // Profile returns the generator's (defaulted) profile.
 func (g *Gen) Profile() Profile { return g.prof }
 

@@ -49,10 +49,22 @@ func (w Workload) Streams() []isa.Stream {
 	return out
 }
 
+// CheckMachines, when set, enables per-cycle invariant checking
+// (pipeline.SetInvariantChecks) on every machine NewMachine builds.
+// Clones inherit the setting, so one switch covers every trial machine a
+// checkpoint-based searcher derives from the original. It is a
+// process-wide debug toggle (cmd/experiments -check); set it before
+// starting any simulation, never concurrently with one.
+var CheckMachines bool
+
 // NewMachine builds a machine running the workload under the given
 // policy (nil = plain ICOUNT) with the paper's Table 1 configuration.
 func (w Workload) NewMachine(pol pipeline.Policy) *pipeline.Machine {
-	return pipeline.New(pipeline.DefaultConfig(w.Threads()), w.Streams(), pol)
+	m := pipeline.New(pipeline.DefaultConfig(w.Threads()), w.Streams(), pol)
+	if CheckMachines {
+		m.SetInvariantChecks(true)
+	}
+	return m
 }
 
 // RscSum returns the workload's summed per-application resource
