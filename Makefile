@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race serve-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
+.PHONY: ci vet lint build test race serve-smoke fabric-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
 
 # ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
 # build everything, the full test suite under the race detector
 # (internal/sweep's pool tests are the concurrency canary — see
 # TestWorkerPoolConcurrency; internal/serve's daemon tests exercise the
-# queue/SSE/shutdown paths), the process-level daemon smoke, one
-# iteration of the telemetry overhead benchmarks so a hot-loop
+# queue/SSE/shutdown paths), the process-level daemon smoke, the fabric
+# cluster smoke (coordinator + 2 workers, byte-identical output under
+# -race), one iteration of the telemetry overhead benchmarks so a hot-loop
 # regression fails loudly, the benchmark-trajectory gate against the
 # committed baseline, and a short fuzz smoke over the text-format
 # parsers plus an invariant-checked fig9 run.
-ci: vet lint build race serve-smoke benchsmoke bench-gate fuzzsmoke
+ci: vet lint build race serve-smoke fabric-smoke benchsmoke bench-gate fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +37,14 @@ race:
 # -count=1 forces a live run even when the package is cached.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 ./cmd/smtserved
+
+# fabric-smoke runs the distributed-sweep fabric suite under the race
+# detector: an in-process coordinator plus two workers reproduce
+# fig4/fig9/table2 byte-identically to a serial run, including with one
+# worker killed and restarted mid-sweep (see internal/fabric and the
+# DESIGN.md "Distributed fabric" section). -count=1 forces a live run.
+fabric-smoke:
+	$(GO) test -race -count=1 ./internal/fabric
 
 # benchsmoke runs the machine-speed benchmarks once — not a timing gate,
 # just proof they still compile and complete.

@@ -19,22 +19,42 @@
 // the cached result. SIGINT/SIGTERM drains gracefully: admission stops,
 // in-flight jobs finish (up to -drain-timeout), queued jobs are
 // cancelled, and the process exits 0.
+//
+// # Cluster mode
+//
+// -role selects the node's fabric role (see internal/fabric and the
+// "Distributed fabric" section of DESIGN.md):
+//
+//	-role standalone   (default) single-process daemon, exactly as above
+//	-role coordinator  also serve /fabric/v1/* (register, heartbeat,
+//	                   shared result store) and dispatch this node's
+//	                   sweep jobs across registered workers
+//	-role worker       register with -coordinator, serve /fabric/v1/exec,
+//	                   and read results through the coordinator's store
+//
+// A coordinator plus N workers produce byte-identical experiment output
+// to a standalone daemon: job keys encode everything a result depends
+// on, and any fabric failure falls back to local compute.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"smthill/internal/experiment"
+	"smthill/internal/fabric"
 	"smthill/internal/serve"
+	"smthill/internal/sweep"
 )
 
 func main() {
@@ -55,6 +75,14 @@ func run() int {
 		retainJobs   = flag.Int("retain-jobs", 1024, "finished jobs kept pollable before the oldest are evicted")
 		retainFor    = flag.Duration("retain-for", 15*time.Minute, "how long a finished job stays pollable")
 		paper        = flag.Bool("paper", false, "paper-scale experiment configuration (slow)")
+
+		role       = flag.String("role", "standalone", "fabric role: standalone, coordinator, or worker")
+		coordURL   = flag.String("coordinator", "", "coordinator base URL (required with -role worker)")
+		advertise  = flag.String("advertise", "", "base URL the coordinator dials back for exec (worker; default http://<listen-addr>)")
+		nodeID     = flag.String("node-id", "", "this worker's fabric identity (default: the advertise address)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "worker heartbeat interval")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 10*time.Second, "coordinator reaps workers silent this long")
+		stealDepth = flag.Int("steal-depth", 4, "coordinator steals a job when the owner's queue is this much deeper than the least-loaded worker's")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "smtserved: ", log.LstdFlags)
@@ -77,6 +105,83 @@ func run() int {
 	if *paper {
 		cfg.Experiments = experiment.Paper()
 	}
+
+	// localCache opens the -cache-dir disk cache when configured; fabric
+	// roles compose it into their store stack instead of handing it to
+	// serve directly.
+	localCache := func() (sweep.Backend, error) {
+		if *cacheDir == "" {
+			return nil, nil
+		}
+		c, err := sweep.NewCache(*cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		c.SetLogf(logger.Printf)
+		return c, nil
+	}
+
+	var coord *fabric.Coordinator
+	var workerStore *fabric.StoreClient
+	switch *role {
+	case "standalone":
+		// Exactly the single-process daemon: no fabric surface at all.
+	case "coordinator":
+		store, err := localCache()
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		coord = fabric.NewCoordinator(fabric.CoordinatorConfig{
+			Store:            store,
+			HeartbeatTimeout: *hbTimeout,
+			StealDepth:       *stealDepth,
+			Logf:             logger.Printf,
+		})
+		cfg.CacheDir = ""
+		cfg.Backend = coord.Backend()
+		cfg.Remote = coord
+		cfg.ExtraMetrics = []func(io.Writer){coord.WriteMetrics}
+		cfg.ExtraHealth = coord.Health
+	case "worker":
+		if *coordURL == "" {
+			logger.Print("-role worker requires -coordinator")
+			return 2
+		}
+		local, err := localCache()
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		if local == nil {
+			local = fabric.NewMemStore()
+		}
+		workerStore = fabric.NewStoreClient(*coordURL, local, nil)
+		cfg.CacheDir = ""
+		cfg.Backend = workerStore
+	default:
+		logger.Printf("unknown -role %q (standalone, coordinator, worker)", *role)
+		return 2
+	}
+
+	// The worker is built after serve.New (it wraps the server's engine)
+	// but its metrics and health surfaces are wired into cfg now, so they
+	// late-bind through an atomic pointer.
+	var wp atomic.Pointer[fabric.Worker]
+	if *role == "worker" {
+		cfg.ExtraMetrics = []func(io.Writer){func(out io.Writer) {
+			if w := wp.Load(); w != nil {
+				w.WriteMetrics(out)
+			}
+		}}
+		cfg.ExtraHealth = func() map[string]any {
+			if w := wp.Load(); w != nil {
+				return w.Health()
+			}
+			return nil
+		}
+	}
+
 	srv, err := serve.New(cfg)
 	if err != nil {
 		logger.Print(err)
@@ -92,7 +197,43 @@ func run() int {
 	// off this line.
 	logger.Printf("listening on %s", ln.Addr())
 
-	hs := &http.Server{Handler: srv}
+	// Assemble the HTTP surface. Fabric roles mount their control plane
+	// under /fabric/v1/ next to the serve API; standalone serves the API
+	// alone, byte-identical to the pre-fabric daemon.
+	handler := http.Handler(srv)
+	switch *role {
+	case "coordinator":
+		mux := http.NewServeMux()
+		mux.Handle("/fabric/v1/", coord.Handler())
+		mux.Handle("/", srv)
+		handler = mux
+		logger.Printf("fabric coordinator ready; workers register at http://%s/fabric/v1/register", ln.Addr())
+	case "worker":
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		id := *nodeID
+		if id == "" {
+			id = adv
+		}
+		w := fabric.NewWorker(fabric.WorkerConfig{
+			ID:             id,
+			CoordinatorURL: *coordURL,
+			AdvertiseURL:   adv,
+			HeartbeatEvery: *heartbeat,
+			Logf:           logger.Printf,
+		}, srv.Engine(), workerStore)
+		wp.Store(w)
+		w.Start(ctx)
+		mux := http.NewServeMux()
+		mux.Handle("/fabric/v1/", w.Handler())
+		mux.Handle("/", srv)
+		handler = mux
+		logger.Printf("fabric worker %s joining %s (advertising %s)", id, *coordURL, adv)
+	}
+
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

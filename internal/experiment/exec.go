@@ -1,0 +1,259 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"smthill/internal/metrics"
+	"smthill/internal/sweep"
+	"smthill/internal/workload"
+)
+
+// This file makes every experiment job family executable *by key*: a
+// job key already encodes the workload, technique, and exactly the
+// Config fields its result depends on (see jobs.go), so a node that
+// receives only the key can rebuild the identical job and run it on
+// its local engine. That is the property the distributed fabric
+// (internal/fabric) rests on — closures cannot cross the wire, keys
+// can. Every executor re-derives the job through the same constructor
+// the native path uses and then asserts the rebuilt key matches the
+// requested one, so key-grammar drift fails loudly instead of caching
+// a wrong result.
+
+// ExecKey executes the experiment job identified by key on the engine
+// installed with SetEngine and returns the exact raw JSON bytes the
+// engine stored for it. ok=false means the key belongs to no known
+// experiment family (the caller should try other registries or run
+// locally); an error means the key named a family but could not be
+// rebuilt or run.
+func ExecKey(ctx context.Context, key string) (raw json.RawMessage, ok bool, err error) {
+	return ExecKeyOn(ctx, engine, key)
+}
+
+// ExecKeyOn is ExecKey against an explicit engine. A fabric worker runs
+// received keys on its own engine rather than the process-global one,
+// so an in-process cluster (tests, fabric-smoke) can host several
+// workers without the coordinator's experiment run and the workers'
+// executions fighting over SetEngine.
+func ExecKeyOn(ctx context.Context, eng *sweep.Engine, key string) (raw json.RawMessage, ok bool, err error) {
+	prefix, params, perr := sweep.ParseKey(key)
+	if perr != nil {
+		return nil, false, nil // not a canonical key; not ours
+	}
+	family, verOK := splitFamily(prefix)
+	if !verOK {
+		return nil, false, nil
+	}
+	p := keyParams{key: key, params: params}
+	switch family {
+	case "solo":
+		app, cycles := p.str("app"), p.num("cycles")
+		if err := p.finish(); err != nil {
+			return nil, true, err
+		}
+		if !knownApp(app) {
+			return nil, true, fmt.Errorf("experiment: exec %s: unknown application %q", key, app)
+		}
+		return execJob(ctx, eng, key, soloJob(app, cycles))
+	case "baseline":
+		cfg, w, err := p.geometry()
+		pol := p.str("pol")
+		if err2 := firstErr(err, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		return execJob(ctx, eng, key, baselineJob(cfg, w, pol))
+	case "hill":
+		cfg, w, err := p.geometry()
+		kind, kerr := metricByName(p.str("metric"))
+		if err2 := firstErr(err, kerr, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		return execJob(ctx, eng, key, hillJob(cfg, w, kind))
+	case "offline":
+		cfg, w, err := p.geometry()
+		cfg.OffLineStride = p.num("stride")
+		cfg.SoloCycles = p.num("sc")
+		if err2 := firstErr(err, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		singles, serr := singlesOn(ctx, eng, cfg, w)
+		if serr != nil {
+			return nil, true, serr
+		}
+		return execJob(ctx, eng, key, offLineJob(cfg, w, singles))
+	case "randhill":
+		cfg, w, err := p.geometry()
+		cfg.RandHillIters = p.num("iters")
+		cfg.SoloCycles = p.num("sc")
+		if err2 := firstErr(err, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		singles, serr := singlesOn(ctx, eng, cfg, w)
+		if serr != nil {
+			return nil, true, serr
+		}
+		return execJob(ctx, eng, key, randHillJob(cfg, w, singles))
+	case "hillwidth":
+		cfg, w, err := p.geometry()
+		cfg.OffLineStride = p.num("stride")
+		cfg.SoloCycles = p.num("sc")
+		if err2 := firstErr(err, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		singles, serr := singlesOn(ctx, eng, cfg, w)
+		if serr != nil {
+			return nil, true, serr
+		}
+		return execJob(ctx, eng, key, hillWidthJob(cfg, w, singles))
+	case "table2":
+		cfg := Default()
+		app := p.str("app")
+		cfg.SoloCycles = p.num("sc")
+		if err := p.finish(); err != nil {
+			return nil, true, err
+		}
+		if !knownApp(app) {
+			return nil, true, fmt.Errorf("experiment: exec %s: unknown application %q", key, app)
+		}
+		return execJob(ctx, eng, key, table2Job(cfg, app))
+	case "phasehill":
+		cfg, w, err := p.geometry()
+		if err2 := firstErr(err, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		return execJob(ctx, eng, key, phaseHillJob(cfg, w))
+	}
+	return nil, false, nil
+}
+
+// splitFamily peels "v<resultsVersion>|<family>" apart, refusing other
+// result versions: a version-skewed peer must recompute locally rather
+// than receive bytes produced under different semantics.
+func splitFamily(prefix string) (string, bool) {
+	want := fmt.Sprintf("v%d|", resultsVersion)
+	if len(prefix) <= len(want) || prefix[:len(want)] != want {
+		return "", false
+	}
+	return prefix[len(want):], true
+}
+
+// keyParams accumulates parameter lookups and their first error, so
+// family handlers read fields linearly and report one precise failure.
+type keyParams struct {
+	key    string
+	params map[string]string
+	err    error
+}
+
+func (p *keyParams) str(name string) string {
+	v, ok := p.params[name]
+	if !ok && p.err == nil {
+		p.err = fmt.Errorf("experiment: exec %s: missing parameter %q", p.key, name)
+	}
+	return v
+}
+
+func (p *keyParams) num(name string) int {
+	s := p.str(name)
+	if p.err != nil {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		p.err = fmt.Errorf("experiment: exec %s: bad %s %q", p.key, name, s)
+		return 0
+	}
+	return n
+}
+
+// geometry reads the epoch-geometry triple shared by every
+// workload-keyed family and resolves the workload itself.
+func (p *keyParams) geometry() (Config, workload.Workload, error) {
+	cfg := Default()
+	cfg.EpochSize = p.num("es")
+	cfg.Epochs = p.num("ep")
+	cfg.WarmupEpochs = p.num("wu")
+	wl := p.str("wl")
+	if p.err != nil {
+		return cfg, workload.Workload{}, p.err
+	}
+	w, err := workload.Parse(wl)
+	if err != nil {
+		return cfg, workload.Workload{}, fmt.Errorf("experiment: exec %s: %v", p.key, err)
+	}
+	return cfg, w, nil
+}
+
+func (p *keyParams) finish() error { return p.err }
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execJob runs one rebuilt job on the installed engine and returns the
+// engine's stored bytes — the same bytes a local computation of that
+// key would have produced and memoised, so remote and local results
+// are interchangeable.
+func execJob[R any](ctx context.Context, eng *sweep.Engine, key string, j sweep.Job[R]) (json.RawMessage, bool, error) {
+	if j.Key != key {
+		return nil, true, fmt.Errorf("experiment: exec %s: rebuilt job keys to %s (key grammar drift)", key, j.Key)
+	}
+	if _, err := sweep.Run(ctx, eng, []sweep.Job[R]{j}); err != nil {
+		return nil, true, err
+	}
+	raw, _, ok := eng.Lookup(key)
+	if !ok {
+		return nil, true, fmt.Errorf("experiment: exec %s: result is not cacheable", key)
+	}
+	return raw, true, nil
+}
+
+// singlesOn computes Singles on an explicit engine: the stand-alone
+// reference IPCs the ideal techniques score against, via the same solo
+// job keys the native path uses, so the per-app runs memoise and cache
+// identically.
+func singlesOn(ctx context.Context, eng *sweep.Engine, cfg Config, w workload.Workload) ([]float64, error) {
+	var jobs []sweep.Job[float64]
+	seen := map[string]bool{}
+	for _, app := range w.Apps {
+		if !seen[app] {
+			seen[app] = true
+			jobs = append(jobs, soloJob(app, cfg.SoloCycles))
+		}
+	}
+	res, err := sweep.Run(ctx, eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, w.Threads())
+	for i, app := range w.Apps {
+		out[i] = res[soloKey(app, cfg.SoloCycles)]
+	}
+	return out, nil
+}
+
+// metricByName inverts metrics.Kind.String for the kinds job keys use.
+func metricByName(name string) (metrics.Kind, error) {
+	for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: unknown metric %q", name)
+}
+
+func knownApp(name string) bool {
+	for _, n := range workload.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

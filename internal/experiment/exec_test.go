@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"smthill/internal/metrics"
+	"smthill/internal/sweep"
+	"smthill/internal/workload"
+)
+
+// TestExecKeyMatchesNativeJobs is the fabric's core correctness
+// property: executing a job *by key* on a fresh engine produces byte
+// for byte the result the native closure produces — so a remote
+// worker's answer is interchangeable with local compute.
+func TestExecKeyMatchesNativeJobs(t *testing.T) {
+	cfg := tiny()
+	cfg.Epochs = 3
+	cfg.EpochSize = 4 * 1024
+	cfg.SoloCycles = 8 * 1024
+	w := workload.ByName("art-mcf")
+	t.Cleanup(func() { SetEngine(sweep.NewEngine(0)) })
+
+	native := sweep.NewEngine(0)
+	SetEngine(native)
+	singles := Singles(cfg, w)
+
+	cases := []struct {
+		family string
+		key    string
+		run    func()
+	}{
+		{"solo", soloKey("art", cfg.SoloCycles),
+			func() { mustRun([]sweep.Job[float64]{soloJob("art", cfg.SoloCycles)}) }},
+		{"baseline", baselineKey(cfg, w, "ICOUNT"),
+			func() { mustRun([]sweep.Job[[]float64]{baselineJob(cfg, w, "ICOUNT")}) }},
+		{"hill", hillKey(cfg, w, metrics.WeightedIPC),
+			func() { mustRun([]sweep.Job[[]float64]{hillJob(cfg, w, metrics.WeightedIPC)}) }},
+		{"offline", offLineKey(cfg, w),
+			func() { mustRun([]sweep.Job[[]float64]{offLineJob(cfg, w, singles)}) }},
+		{"randhill", randHillKey(cfg, w),
+			func() { mustRun([]sweep.Job[[]float64]{randHillJob(cfg, w, singles)}) }},
+		{"hillwidth", hillWidthKey(cfg, w),
+			func() { mustRun([]sweep.Job[[]float64]{hillWidthJob(cfg, w, singles)}) }},
+		{"table2", table2Key(cfg, "art"),
+			func() { mustRun([]sweep.Job[Table2Row]{table2Job(cfg, "art")}) }},
+		{"phasehill", phaseHillKey(cfg, w),
+			func() { mustRun([]sweep.Job[phaseHillResult]{phaseHillJob(cfg, w)}) }},
+	}
+
+	for _, c := range cases {
+		SetEngine(native)
+		c.run()
+		want, _, ok := native.Lookup(c.key)
+		if !ok {
+			t.Fatalf("%s: native run left no memo entry for %s", c.family, c.key)
+		}
+
+		fresh := sweep.NewEngine(0)
+		SetEngine(fresh)
+		got, handled, err := ExecKey(context.Background(), c.key)
+		if err != nil || !handled {
+			t.Fatalf("%s: ExecKey(%s) handled=%v err=%v", c.family, c.key, handled, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: ExecKey bytes differ from native\n exec:   %s\n native: %s", c.family, got, want)
+		}
+	}
+}
+
+func TestExecKeyDeclinesForeignKeys(t *testing.T) {
+	t.Cleanup(func() { SetEngine(sweep.NewEngine(0)) })
+	for _, key := range []string{
+		"v1|simjob|wl=art-mcf|tech=ICOUNT|ep=3|es=1024|wu=1|d=4|seed=0", // simjob family
+		"v99|hill|wl=art-mcf", // foreign results version
+		"not a key at all",
+		"v1|nosuchfamily|wl=art-mcf",
+	} {
+		if _, handled, err := ExecKey(context.Background(), key); handled || err != nil {
+			t.Errorf("ExecKey(%q) = handled=%v err=%v, want declined", key, handled, err)
+		}
+	}
+}
+
+func TestExecKeyRejectsBadFamilyKeys(t *testing.T) {
+	t.Cleanup(func() { SetEngine(sweep.NewEngine(0)) })
+	for _, key := range []string{
+		"v1|hill|wl=art-mcf", // missing geometry
+		"v1|hill|wl=art-mcf|metric=nope|es=1024|ep=2|wu=1", // unknown metric
+		"v1|baseline|wl=zzz|pol=ICOUNT|es=1024|ep=2|wu=1",  // unknown workload
+		"v1|solo|app=zzz|cycles=1024",                      // unknown app
+		"v1|solo|app=art|cycles=banana",                    // non-numeric
+	} {
+		if _, handled, err := ExecKey(context.Background(), key); !handled || err == nil {
+			t.Errorf("ExecKey(%q) = handled=%v err=%v, want handled error", key, handled, err)
+		}
+	}
+}

@@ -1,0 +1,584 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"smthill/internal/sweep"
+	"smthill/internal/telemetry"
+)
+
+// CoordinatorConfig parameterises a Coordinator. The zero value of
+// every field selects a default.
+type CoordinatorConfig struct {
+	// Store is the backing result store (default: a fresh MemStore).
+	// Wire the coordinator's disk cache here to persist across runs.
+	Store sweep.Backend
+	// HeartbeatTimeout is how long a silent worker stays in the ring
+	// before being reaped (default 10s).
+	HeartbeatTimeout time.Duration
+	// ExecTimeout bounds one dispatched job execution (default 10m,
+	// matching serve's job timeout).
+	ExecTimeout time.Duration
+	// StealDepth triggers work-stealing: when the ring owner's reported
+	// queue is more than StealDepth jobs deeper than the least-loaded
+	// worker's, the job goes to the latter (default 4).
+	StealDepth int
+	// Vnodes is the ring's virtual-node count per worker (default 64).
+	Vnodes int
+	// AffinityKeys caps the key->worker affinity index (default 65536).
+	AffinityKeys int
+	// Client performs dispatch HTTP (default http.DefaultClient).
+	Client *http.Client
+	// Logf receives operational log lines (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.ExecTimeout <= 0 {
+		c.ExecTimeout = 10 * time.Minute
+	}
+	if c.StealDepth <= 0 {
+		c.StealDepth = 4
+	}
+	if c.AffinityKeys <= 0 {
+		c.AffinityKeys = 65536
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// member is the coordinator's view of one worker.
+type member struct {
+	id       string
+	addr     string
+	lastSeen time.Time
+	depth    int
+	alive    bool
+}
+
+// Coordinator owns the fabric's control plane: worker membership and
+// liveness, the consistent-hash ring, the shared result store (served
+// over HTTP with a gossip log), and job dispatch. It implements
+// sweep.Remote, so installing it on an engine (sweep.SetRemote) makes
+// every engine job transparently eligible for distribution; any
+// dispatch failure falls back to local execution in the engine.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	now func() time.Time // injectable for liveness tests
+
+	store    *storeLog
+	storeSrv *StoreServer
+	handler  http.Handler
+
+	mu       sync.Mutex
+	members  map[string]*member
+	ring     *Ring
+	affinity map[string]string
+	affOrder []string // affinity insertion order, for cap eviction
+
+	// counters (guarded by mu)
+	dispatchOwner    uint64
+	dispatchStolen   uint64
+	dispatchAffinity uint64
+	redispatched     uint64
+	dispatchFailed   uint64
+	localFallback    uint64
+	reaped           uint64
+	registered       uint64
+	execMS           telemetry.Hist
+}
+
+// NewCoordinator builds a coordinator. Mount Handler under /fabric/v1/
+// next to the serve API, install the coordinator on the serving
+// engine with SetRemote(c) and SetBackend(c.Backend()), and workers do
+// the rest.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		now:      time.Now,
+		store:    newStoreLog(cfg.Store),
+		members:  map[string]*member{},
+		ring:     NewRing(cfg.Vnodes),
+		affinity: map[string]string{},
+	}
+	c.storeSrv = NewStoreServer(c.store)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fabric/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /fabric/v1/heartbeat", c.handleHeartbeat)
+	mux.Handle("/fabric/v1/store", c.storeSrv)
+	c.handler = mux
+	return c
+}
+
+// Handler returns the coordinator's HTTP surface (register, heartbeat,
+// store).
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// Backend returns the result store as a sweep.Backend. Install it on
+// the coordinator's own engine so locally computed results enter the
+// store (and its gossip log) exactly like worker uploads.
+func (c *Coordinator) Backend() sweep.Backend { return c.store }
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad register request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := checkProtoVersion(req.Version); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		http.Error(w, "register requires id and addr", http.StatusBadRequest)
+		return
+	}
+	c.admit(req.ID, req.Addr, 0)
+	writeProtoJSON(w, RegisterResponse{Version: ProtocolVersion, StoreSeq: c.store.seq()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&hb); err != nil {
+		http.Error(w, fmt.Sprintf("bad heartbeat: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := checkProtoVersion(hb.Version); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if hb.ID == "" || hb.Addr == "" {
+		http.Error(w, "heartbeat requires id and addr", http.StatusBadRequest)
+		return
+	}
+	c.admit(hb.ID, hb.Addr, hb.QueueDepth)
+	c.absorbRecent(hb.ID, hb.RecentKeys)
+	c.reap()
+	newKeys, seq := c.store.since(hb.Seq)
+	writeProtoJSON(w, HeartbeatResponse{Version: ProtocolVersion, StoreSeq: seq, NewKeys: newKeys})
+}
+
+func writeProtoJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// admit registers or refreshes a member: a register, a heartbeat, and a
+// re-appearing reaped worker all land here, so a worker that restarts
+// (or outlives a coordinator restart) rejoins on its next beat with no
+// special handshake.
+func (c *Coordinator) admit(id, addr string, depth int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	if !ok {
+		m = &member{id: id}
+		c.members[id] = m
+		c.registered++
+	}
+	if !m.alive {
+		c.ring.Add(id)
+		if ok {
+			c.cfg.Logf("fabric: worker %s back, rejoining ring (%d live)", id, c.ring.Len())
+		} else {
+			c.cfg.Logf("fabric: worker %s registered at %s (%d live)", id, addr, c.ring.Len())
+		}
+	}
+	m.addr = addr
+	m.depth = depth
+	m.alive = true
+	m.lastSeen = c.now()
+}
+
+// absorbRecent updates dispatch affinity from gossiped recently
+// computed keys: the next request for such a key prefers the worker
+// whose memo is already warm.
+func (c *Coordinator) absorbRecent(id string, keys []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range keys {
+		c.noteAffinity(k, id)
+	}
+}
+
+// noteAffinity records key->worker with FIFO eviction at the cap.
+// Callers hold mu.
+func (c *Coordinator) noteAffinity(key, id string) {
+	if _, ok := c.affinity[key]; !ok {
+		c.affOrder = append(c.affOrder, key)
+		for len(c.affOrder) > c.cfg.AffinityKeys {
+			delete(c.affinity, c.affOrder[0])
+			c.affOrder = c.affOrder[1:]
+		}
+	}
+	c.affinity[key] = id
+}
+
+// reap removes workers silent past the liveness timeout from the
+// ring. It takes mu itself and must not be called with mu held.
+func (c *Coordinator) reap() {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := c.members[id]
+		if m.alive && now.Sub(m.lastSeen) > c.cfg.HeartbeatTimeout {
+			m.alive = false
+			c.ring.Remove(id)
+			c.reaped++
+			c.cfg.Logf("fabric: worker %s missed heartbeats for %s, reaped (%d live)",
+				id, now.Sub(m.lastSeen).Round(time.Millisecond), c.ring.Len())
+		}
+	}
+}
+
+// suspect marks a worker dead after a failed dispatch, without waiting
+// for the heartbeat timeout: the connection already told us.
+func (c *Coordinator) suspect(id string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.members[id]; ok && m.alive {
+		m.alive = false
+		c.ring.Remove(id)
+		c.cfg.Logf("fabric: worker %s unreachable (%v), re-dispatching (%d live)", id, err, c.ring.Len())
+	}
+}
+
+// dispatchTarget is one placement choice, labelled with why it was
+// chosen (for the dispatch counters).
+type dispatchTarget struct {
+	id   string
+	addr string
+	kind string // "affinity", "stolen", "owner"
+}
+
+// plan produces the preference-ordered dispatch targets for key:
+// affinity first (a memo-warm worker beats everything), then the ring
+// owner — replaced by the least-loaded worker when the owner's queue is
+// StealDepth deeper —, then the remaining ring walk as re-dispatch
+// candidates. Empty means no live workers: run locally.
+func (c *Coordinator) plan(key string) []dispatchTarget {
+	c.reap()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring.Len() == 0 {
+		return nil
+	}
+	order := c.ring.Owners(key, c.ring.Len())
+	targets := make([]dispatchTarget, 0, len(order))
+	for i, id := range order {
+		kind := "owner"
+		if i > 0 {
+			kind = "redispatch"
+		}
+		targets = append(targets, dispatchTarget{id: id, addr: c.members[id].addr, kind: kind})
+	}
+
+	// Work-stealing: hand the job to the least-loaded live worker when
+	// the owner is substantially deeper. Ties break by id so placement
+	// is deterministic given the same load report.
+	owner := c.members[targets[0].id]
+	minID, minDepth := "", 0
+	ids := make([]string, 0, len(order))
+	ids = append(ids, order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		if m := c.members[id]; minID == "" || m.depth < minDepth {
+			minID, minDepth = id, m.depth
+		}
+	}
+	if minID != "" && minID != targets[0].id && owner.depth-minDepth > c.cfg.StealDepth {
+		targets = moveToFront(targets, minID, "stolen")
+	}
+
+	// Affinity: a worker that already computed this key serves it from
+	// its memo; prefer it even over the steal choice.
+	if id, ok := c.affinity[key]; ok {
+		if m, live := c.members[id]; live && m.alive {
+			targets = moveToFront(targets, id, "affinity")
+		}
+	}
+	return targets
+}
+
+// moveToFront promotes the target with the given id (relabelled kind)
+// to the head of the plan, preserving the relative order of the rest.
+func moveToFront(ts []dispatchTarget, id, kind string) []dispatchTarget {
+	for i, t := range ts {
+		if t.id == id {
+			t.kind = kind
+			copy(ts[1:i+1], ts[:i])
+			ts[0] = t
+			return ts
+		}
+	}
+	return ts
+}
+
+// Exec implements sweep.Remote: dispatch the key to a worker, walking
+// the placement plan until one answers. Transport failures mark the
+// worker dead and re-dispatch to the next candidate — this is the
+// mid-sweep worker-death recovery path. A worker that *rejects* the key
+// (bad key, execution error) ends dispatch with handled=false so the
+// local engine computes it and surfaces the authoritative error.
+// handled=false is always safe: the engine falls back to local
+// execution, which produces identical bytes by the determinism
+// contract.
+func (c *Coordinator) Exec(ctx context.Context, key string) (json.RawMessage, bool, error) {
+	plan := c.plan(key)
+	if len(plan) == 0 {
+		c.bump(&c.localFallback)
+		return nil, false, nil
+	}
+	start := c.now()
+	for i, t := range plan {
+		if i > 0 {
+			c.bump(&c.redispatched)
+		}
+		raw, retryable, err := c.execOn(ctx, t.addr, key)
+		if err == nil {
+			c.finishDispatch(t, key, start)
+			return raw, true, nil
+		}
+		if !retryable {
+			c.bump(&c.localFallback)
+			return nil, false, nil
+		}
+		c.suspect(t.id, err)
+		if ctx.Err() != nil {
+			// The batch is being cancelled; let the engine see it locally.
+			return nil, false, nil
+		}
+	}
+	c.bump(&c.dispatchFailed)
+	return nil, false, nil
+}
+
+// execOn performs one dispatch attempt. retryable distinguishes "this
+// worker is broken, try another" (transport error, 5xx) from "this job
+// is broken everywhere" (4xx: version skew, unknown or failing key),
+// which must not burn through the whole ring.
+func (c *Coordinator) execOn(ctx context.Context, addr, key string) (raw json.RawMessage, retryable bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ExecTimeout)
+	defer cancel()
+	body, _ := json.Marshal(ExecRequest{Version: ProtocolVersion, Key: key})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/fabric/v1/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, true, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("fabric: exec %s on %s: HTTP %d: %s", key, addr, resp.StatusCode, bytes.TrimSpace(msg))
+		return nil, resp.StatusCode >= 500, err
+	}
+	var er ExecResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&er); err != nil {
+		return nil, true, fmt.Errorf("fabric: exec %s on %s: %v", key, addr, err)
+	}
+	if err := checkProtoVersion(er.Version); err != nil {
+		return nil, false, err
+	}
+	if er.Key != key || len(er.Result) == 0 || !json.Valid(er.Result) {
+		return nil, true, fmt.Errorf("fabric: exec %s on %s: malformed response", key, addr)
+	}
+	return er.Result, false, nil
+}
+
+// finishDispatch records a successful dispatch: counters by kind, the
+// new affinity, and the end-to-end latency.
+func (c *Coordinator) finishDispatch(t dispatchTarget, key string, start time.Time) {
+	elapsed := c.now().Sub(start)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch t.kind {
+	case "affinity":
+		c.dispatchAffinity++
+	case "stolen":
+		c.dispatchStolen++
+	default:
+		c.dispatchOwner++
+	}
+	c.noteAffinity(key, t.id)
+	c.execMS.Observe(int(elapsed.Milliseconds()))
+}
+
+func (c *Coordinator) bump(u *uint64) {
+	c.mu.Lock()
+	*u++
+	c.mu.Unlock()
+}
+
+// PeerStatus is one worker's liveness as reported by Health.
+type PeerStatus struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr"`
+	Alive      bool   `json:"alive"`
+	QueueDepth int    `json:"queue_depth"`
+	LastSeenMS int64  `json:"last_seen_ms"`
+}
+
+// Peers returns the membership sorted by id.
+func (c *Coordinator) Peers() []PeerStatus {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PeerStatus, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, PeerStatus{
+			ID: m.id, Addr: m.addr, Alive: m.alive, QueueDepth: m.depth,
+			LastSeenMS: now.Sub(m.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Health returns the coordinator's /healthz contribution.
+func (c *Coordinator) Health() map[string]any {
+	peers := c.Peers()
+	alive := 0
+	for _, p := range peers {
+		if p.Alive {
+			alive++
+		}
+	}
+	return map[string]any{
+		"fabric_role":        "coordinator",
+		"fabric_peers":       peers,
+		"fabric_peers_alive": alive,
+		"fabric_store_keys":  c.store.seq(),
+	}
+}
+
+// WriteMetrics renders the coordinator's counters (dispatch outcomes,
+// liveness, latency) plus its store server's, in exposition format.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	peers := c.Peers()
+	alive, dead := 0, 0
+	for _, p := range peers {
+		if p.Alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	c.mu.Lock()
+	fmt.Fprintf(w, "smtserved_fabric_peers{state=\"alive\"} %d\n", alive)
+	fmt.Fprintf(w, "smtserved_fabric_peers{state=\"dead\"} %d\n", dead)
+	fmt.Fprintf(w, "smtserved_fabric_dispatch_total{kind=\"owner\"} %d\n", c.dispatchOwner)
+	fmt.Fprintf(w, "smtserved_fabric_dispatch_total{kind=\"stolen\"} %d\n", c.dispatchStolen)
+	fmt.Fprintf(w, "smtserved_fabric_dispatch_total{kind=\"affinity\"} %d\n", c.dispatchAffinity)
+	fmt.Fprintf(w, "smtserved_fabric_redispatch_total %d\n", c.redispatched)
+	fmt.Fprintf(w, "smtserved_fabric_dispatch_failed_total %d\n", c.dispatchFailed)
+	fmt.Fprintf(w, "smtserved_fabric_local_fallback_total %d\n", c.localFallback)
+	fmt.Fprintf(w, "smtserved_fabric_workers_reaped_total %d\n", c.reaped)
+	fmt.Fprintf(w, "smtserved_fabric_workers_registered_total %d\n", c.registered)
+	hist := c.execMS
+	c.mu.Unlock()
+	writeHist(w, "smtserved_fabric_exec_ms", &hist)
+	c.storeSrv.WriteMetrics(w)
+}
+
+// storeLog wraps the backing store with an append-only log of stored
+// keys, the source of heartbeat gossip. Every write path — worker
+// uploads through the HTTP store, the coordinator engine's own cache
+// writes — funnels through Put, so the log sees everything.
+type storeLog struct {
+	backend sweep.Backend
+
+	mu   sync.Mutex
+	base uint64   // sequence number of log[0]; sequences start at 1
+	log  []string // most recent stored keys, oldest first
+	next uint64   // next sequence to assign (== total keys ever logged + 1)
+}
+
+// storeLogCap bounds the retained gossip window. A worker further than
+// this behind simply misses the older keys — gossip is a hint; the
+// store remains authoritative via ordinary Gets.
+const storeLogCap = 8192
+
+func newStoreLog(backend sweep.Backend) *storeLog {
+	return &storeLog{backend: backend, base: 1, next: 1}
+}
+
+// Get implements sweep.Backend.
+func (l *storeLog) Get(key string) (json.RawMessage, bool) { return l.backend.Get(key) }
+
+// Put implements sweep.Backend, recording the key in the gossip log on
+// success. Duplicate puts of a key (several nodes computing it
+// concurrently) log once per burst: the log tail is checked, which
+// suffices to keep steady-state re-logging out.
+func (l *storeLog) Put(key string, raw json.RawMessage) error {
+	if err := l.backend.Put(key, raw); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.log); n > 0 && l.log[n-1] == key {
+		return nil
+	}
+	l.log = append(l.log, key)
+	l.next++
+	if len(l.log) > storeLogCap {
+		drop := len(l.log) - storeLogCap
+		l.log = l.log[drop:]
+		l.base += uint64(drop)
+	}
+	return nil
+}
+
+// seq returns the latest assigned sequence (0 when nothing is stored).
+func (l *storeLog) seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// since returns the keys stored after sequence s (capped to the
+// retained window) and the latest sequence.
+func (l *storeLog) since(s uint64) ([]string, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	latest := l.next - 1
+	if s >= latest {
+		return nil, latest
+	}
+	from := 0
+	if s+1 >= l.base {
+		from = int(s + 1 - l.base)
+	}
+	out := append([]string(nil), l.log[from:]...)
+	return out, latest
+}

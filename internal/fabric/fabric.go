@@ -1,0 +1,129 @@
+// Package fabric distributes the sweep engine across processes: a
+// coordinator consistent-hashes job keys over registered worker nodes,
+// workers execute keys on their local engines, and a shared
+// content-addressed result store (plus memo-gossip piggybacked on
+// heartbeats) lets every node serve what any node computed.
+//
+// The design leans entirely on the sweep package's determinism
+// contract: a job key uniquely determines its result, and results
+// round-trip JSON byte-exactly. Keys are therefore the only thing that
+// crosses the wire — a worker rebuilds the job from its key
+// (simjob.SpecFromKey, experiment.ExecKeyOn) and returns the engine's
+// stored bytes, which the coordinator adopts verbatim. Distribution is
+// an optimisation, never a correctness dependency: any failure
+// (unreachable worker, version skew, unknown key family) falls back to
+// local computation and produces the same bytes.
+//
+// Topology: the coordinator owns the result store and the hash ring.
+// Workers register over HTTP, then heartbeat periodically; a heartbeat
+// carries the worker's queue depth (feeding work-stealing), the keys it
+// computed since the last beat (feeding the coordinator's dispatch
+// affinity), and its store-log position (the response returns keys
+// newly stored by other nodes, which the worker's store client
+// revalidates with conditional fetches). A worker that misses
+// heartbeats past the liveness timeout is reaped from the ring; jobs
+// in flight to it are re-dispatched to surviving workers the moment
+// the connection fails, so a mid-sweep worker death costs a retry,
+// not the sweep.
+//
+// The package deliberately sits outside the simulator's determinism
+// boundary (see internal/lint's nondeterminism rule): it reads the
+// wall clock for liveness and latency only; nothing here feeds
+// simulator state.
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"smthill/internal/telemetry"
+)
+
+// ProtocolVersion stamps every fabric wire message. A node receiving a
+// message with a version it does not speak refuses it; the sender then
+// treats the peer as unusable and computes locally, so a mixed-version
+// cluster degrades to standalone behaviour instead of exchanging bytes
+// with drifted semantics.
+const ProtocolVersion = 1
+
+// checkProtoVersion rejects messages from nodes speaking a different
+// fabric protocol revision.
+func checkProtoVersion(v int) error {
+	if v != ProtocolVersion {
+		return fmt.Errorf("fabric: protocol version %d, want %d", v, ProtocolVersion)
+	}
+	return nil
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	Addr    string `json:"addr"` // base URL the coordinator dials back
+}
+
+// RegisterResponse acknowledges registration and tells the worker where
+// the store log currently ends, so its first heartbeat asks only for
+// keys stored after it joined.
+type RegisterResponse struct {
+	Version  int    `json:"version"`
+	StoreSeq uint64 `json:"store_seq"`
+}
+
+// Heartbeat is a worker's periodic liveness report. RecentKeys lists
+// keys the worker computed (not cache hits) since its previous beat —
+// the memo-gossip that feeds the coordinator's dispatch affinity. Seq
+// is the store-log position from the previous HeartbeatResponse.
+type Heartbeat struct {
+	Version    int      `json:"version"`
+	ID         string   `json:"id"`
+	Addr       string   `json:"addr"`
+	QueueDepth int      `json:"queue_depth"`
+	Seq        uint64   `json:"seq"`
+	RecentKeys []string `json:"recent_keys,omitempty"`
+}
+
+// HeartbeatResponse returns the gossip flowing the other way: keys the
+// store gained since the worker's Seq (capped; a lagging worker catches
+// up over several beats) and the new log position.
+type HeartbeatResponse struct {
+	Version  int      `json:"version"`
+	StoreSeq uint64   `json:"store_seq"`
+	NewKeys  []string `json:"new_keys,omitempty"`
+}
+
+// ExecRequest asks a worker to execute one job key.
+type ExecRequest struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+}
+
+// ExecResponse carries the result bytes back. Result is the worker
+// engine's stored JSON for the key, verbatim — the coordinator adopts
+// it without re-encoding so distributed results stay byte-identical to
+// local ones. QueueDepth lets every exec round-trip refresh the
+// coordinator's load view between heartbeats.
+type ExecResponse struct {
+	Version    int             `json:"version"`
+	Key        string          `json:"key"`
+	Result     json.RawMessage `json:"result"`
+	QueueDepth int             `json:"queue_depth"`
+}
+
+// writeHist renders one telemetry.Hist as Prometheus-style cumulative
+// buckets (same layout as internal/serve's HTTP latency series).
+func writeHist(w io.Writer, name string, h *telemetry.Hist) {
+	var cum uint64
+	for i := 0; i < telemetry.HistBuckets; i++ {
+		cum += h.Buckets[i]
+		le := "+Inf"
+		if i < telemetry.HistBuckets-1 {
+			le = strconv.Itoa(telemetry.BucketLo(i+1) - 1)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}

@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v1|hill|wl=wl-%d|es=1024", i)
+	}
+	return keys
+}
+
+func TestRingOwnersDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(32)
+		r.Add("a")
+		r.Add("b")
+		r.Add("c")
+		return r
+	}
+	r1, r2 := build(), build()
+	for _, k := range ringKeys(50) {
+		o1, o2 := r1.Owners(k, 3), r2.Owners(k, 3)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("Owners(%q) differs across identical rings: %v vs %v", k, o1, o2)
+		}
+		if len(o1) != 3 {
+			t.Fatalf("Owners(%q) = %v, want 3 distinct members", k, o1)
+		}
+		seen := map[string]bool{}
+		for _, id := range o1 {
+			if seen[id] {
+				t.Fatalf("Owners(%q) repeats %s: %v", k, id, o1)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingRemoveIsConsistent is the property the fabric's placement
+// stability rests on: removing one member must not move keys between
+// surviving members.
+func TestRingRemoveIsConsistent(t *testing.T) {
+	r := NewRing(64)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		r.Add(id)
+	}
+	keys := ringKeys(300)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owners(k, 1)[0]
+	}
+	r.Remove("b")
+	moved := 0
+	for _, k := range keys {
+		after := r.Owners(k, 1)[0]
+		if after == "b" {
+			t.Fatalf("removed member still owns %q", k)
+		}
+		if before[k] != "b" && after != before[k] {
+			t.Errorf("key %q moved %s -> %s though its owner survived", k, before[k], after)
+		}
+		if before[k] == "b" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test is vacuous: b owned no keys")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0) // default vnodes
+	members := []string{"a", "b", "c"}
+	for _, id := range members {
+		r.Add(id)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		counts[r.Owners(k, 1)[0]]++
+	}
+	// With the default vnode count the split is not uniform, only
+	// bounded: no member may be starved or own most of the circle.
+	for _, id := range members {
+		if frac := float64(counts[id]) / float64(len(keys)); frac < 0.08 || frac > 0.70 {
+			t.Errorf("member %s owns %.1f%% of keys; ring is badly unbalanced", id, 100*frac)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 || len(r.points) != 8 {
+		t.Fatalf("double Add: Len=%d points=%d", r.Len(), len(r.points))
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("double Remove: Len=%d points=%d", r.Len(), len(r.points))
+	}
+	if got := r.Owners("k", 1); got != nil {
+		t.Fatalf("Owners on empty ring = %v", got)
+	}
+}

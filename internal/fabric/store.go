@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"smthill/internal/sweep"
+)
+
+// maxResultBytes bounds one stored result on the wire. The largest real
+// payloads (per-epoch IPC vectors at paper scale) are a few hundred KB;
+// 32 MB leaves two orders of magnitude of headroom while keeping a
+// misbehaving client from ballooning a node.
+const maxResultBytes = 32 << 20
+
+// MemStore is an in-memory sweep.Backend: the coordinator's default
+// result store when no disk cache is configured, and the test double
+// throughout the package. All methods are safe for concurrent use.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]json.RawMessage
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore { return &MemStore{m: map[string]json.RawMessage{}} }
+
+// Get implements sweep.Backend.
+func (s *MemStore) Get(key string) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	return append(json.RawMessage(nil), raw...), true
+}
+
+// Put implements sweep.Backend.
+func (s *MemStore) Put(key string, raw json.RawMessage) error {
+	cp := append(json.RawMessage(nil), raw...)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored results.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// etagFor is the strong validator of a stored result: a quoted sha256
+// of the exact bytes. Because results are content-addressed and
+// deterministic, any node can recompute the ETag of its local copy —
+// conditional revalidation needs no validator bookkeeping.
+func etagFor(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return `"` + hex.EncodeToString(sum[:]) + `"`
+}
+
+// etagMatches implements If-None-Match: a "*" or any listed entity tag
+// equal to etag matches.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// StoreServer serves a sweep.Backend over HTTP as the fabric's shared
+// content-addressed result store:
+//
+//	GET  /fabric/v1/store?key=K   200 body + ETag, 304 on If-None-Match, 404 miss
+//	PUT  /fabric/v1/store?key=K   204 + ETag of the stored bytes
+//
+// Results are immutable under the determinism contract, so the server
+// never needs invalidation; conditional GETs exist so gossip-triggered
+// revalidation costs a header exchange, not a body transfer.
+type StoreServer struct {
+	backend sweep.Backend
+
+	mu            sync.Mutex
+	getHits       uint64
+	getMisses     uint64
+	notModified   uint64
+	puts          uint64
+	putErrors     uint64
+	badRequests   uint64
+	bytesServed   uint64
+	bytesReceived uint64
+}
+
+// NewStoreServer serves backend. The Coordinator wraps its backend so
+// PUTs land in the gossip log; standalone use works with any Backend.
+func NewStoreServer(backend sweep.Backend) *StoreServer {
+	return &StoreServer{backend: backend}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *StoreServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.count(&s.badRequests)
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.handleGet(w, r, key)
+	case http.MethodPut:
+		s.handlePut(w, r, key)
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *StoreServer) handleGet(w http.ResponseWriter, r *http.Request, key string) {
+	raw, ok := s.backend.Get(key)
+	if !ok {
+		s.count(&s.getMisses)
+		http.Error(w, "no result for key", http.StatusNotFound)
+		return
+	}
+	etag := etagFor(raw)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		s.count(&s.notModified)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.mu.Lock()
+	s.getHits++
+	s.bytesServed += uint64(len(raw))
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(raw)
+	}
+}
+
+func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request, key string) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBytes))
+	if err != nil {
+		s.count(&s.badRequests)
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !json.Valid(raw) {
+		s.count(&s.badRequests)
+		http.Error(w, "body is not valid JSON", http.StatusBadRequest)
+		return
+	}
+	if err := s.backend.Put(key, raw); err != nil {
+		s.count(&s.putErrors)
+		http.Error(w, fmt.Sprintf("store: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.puts++
+	s.bytesReceived += uint64(len(raw))
+	s.mu.Unlock()
+	w.Header().Set("ETag", etagFor(raw))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *StoreServer) count(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+// WriteMetrics renders the server's counters in exposition format.
+func (s *StoreServer) WriteMetrics(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"get\",outcome=\"hit\"} %d\n", s.getHits)
+	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"get\",outcome=\"miss\"} %d\n", s.getMisses)
+	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"get\",outcome=\"not_modified\"} %d\n", s.notModified)
+	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"put\",outcome=\"stored\"} %d\n", s.puts)
+	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"put\",outcome=\"error\"} %d\n", s.putErrors)
+	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"any\",outcome=\"bad_request\"} %d\n", s.badRequests)
+	fmt.Fprintf(w, "smtserved_fabric_store_bytes_total{dir=\"served\"} %d\n", s.bytesServed)
+	fmt.Fprintf(w, "smtserved_fabric_store_bytes_total{dir=\"received\"} %d\n", s.bytesReceived)
+}

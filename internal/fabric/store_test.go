@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStoreServerGetPutETag(t *testing.T) {
+	srv := httptest.NewServer(NewStoreServer(NewMemStore()))
+	defer srv.Close()
+	url := srv.URL + "?key=" + "v1%7Chill%7Cwl%3Dart-mcf"
+
+	// Miss first.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: %d, want 404", resp.StatusCode)
+	}
+
+	// PUT stores and returns the content ETag.
+	body := []byte(`{"ipc":[1.25,0.5]}`)
+	req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %d, want 204", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != etagFor(body) {
+		t.Fatalf("PUT ETag = %q, want %q", etag, etagFor(body))
+	}
+
+	// GET returns the exact bytes and the same ETag.
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, body) {
+		t.Fatalf("GET = %d %q, want 200 %q", resp.StatusCode, got, body)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatalf("GET ETag = %q, want %q", resp.Header.Get("ETag"), etag)
+	}
+
+	// Conditional GET with the current ETag is a 304 without a body.
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(got) != 0 {
+		t.Fatalf("conditional GET = %d with %d body bytes, want 304 empty", resp.StatusCode, len(got))
+	}
+
+	// A stale validator still gets the full body.
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", `"0000"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, body) {
+		t.Fatalf("stale conditional GET = %d %q, want 200 body", resp.StatusCode, got)
+	}
+}
+
+func TestStoreServerRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(NewStoreServer(NewMemStore()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL) // no key
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET without key: %d, want 400", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"?key=k", strings.NewReader("not json"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT invalid JSON: %d, want 400", resp.StatusCode)
+	}
+}
+
+// storeTestServer mounts a StoreServer at the path StoreClient dials,
+// mirroring the coordinator's mux topology.
+func storeTestServer(backend *MemStore) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/fabric/v1/store", NewStoreServer(backend))
+	return httptest.NewServer(mux)
+}
+
+func TestStoreClientReadThrough(t *testing.T) {
+	remote := NewMemStore()
+	srv := storeTestServer(remote)
+	defer srv.Close()
+	local := NewMemStore()
+	c := NewStoreClient(srv.URL, local, nil)
+
+	key := "v1|solo|app=art|cycles=1024"
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get on empty store succeeded")
+	}
+
+	want := json.RawMessage(`{"v":1}`)
+	if err := remote.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get after remote put = %q, %v", got, ok)
+	}
+	// The remote hit was written back locally: a second Get must not
+	// need the network.
+	srv.Close()
+	got, ok = c.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get after server death = %q, %v; want local copy", got, ok)
+	}
+	c.mu.Lock()
+	localHits, remoteHits := c.localHits, c.remoteHits
+	c.mu.Unlock()
+	if localHits != 1 || remoteHits != 1 {
+		t.Fatalf("hit counters local=%d remote=%d, want 1 and 1", localHits, remoteHits)
+	}
+}
+
+func TestStoreClientPutWritesThrough(t *testing.T) {
+	remote := NewMemStore()
+	srv := storeTestServer(remote)
+	defer srv.Close()
+	local := NewMemStore()
+	c := NewStoreClient(srv.URL, local, nil)
+
+	key, raw := "k1", json.RawMessage(`[1,2,3]`)
+	if err := c.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := remote.Get(key); !ok || !bytes.Equal(got, raw) {
+		t.Fatalf("remote after Put = %q, %v", got, ok)
+	}
+	if got, ok := local.Get(key); !ok || !bytes.Equal(got, raw) {
+		t.Fatalf("local after Put = %q, %v", got, ok)
+	}
+}
+
+func TestStoreClientOfflineDegradesToLocal(t *testing.T) {
+	local := NewMemStore()
+	c := NewStoreClient("http://127.0.0.1:1", local, nil) // nothing listens
+	key, raw := "k", json.RawMessage(`true`)
+	if err := c.Put(key, raw); err == nil {
+		t.Fatal("Put against a dead store reported success")
+	}
+	if got, ok := c.Get(key); !ok || !bytes.Equal(got, raw) {
+		t.Fatalf("local Get after offline Put = %q, %v", got, ok)
+	}
+}
+
+func TestStoreClientMarkKnownRevalidates(t *testing.T) {
+	remote := NewMemStore()
+	srv := storeTestServer(remote)
+	defer srv.Close()
+	local := NewMemStore()
+	c := NewStoreClient(srv.URL, local, nil)
+
+	same := json.RawMessage(`{"x":1}`)
+	if err := remote.Put("same", same); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put("same", same); err != nil {
+		t.Fatal(err)
+	}
+	drifted := json.RawMessage(`{"x":2}`)
+	if err := remote.Put("drift", drifted); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put("drift", json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	c.MarkKnown([]string{"same", "drift", "absent"})
+	c.mu.Lock()
+	revalidated, refreshed := c.revalidated, c.refreshed
+	c.mu.Unlock()
+	if revalidated != 1 {
+		t.Errorf("revalidated = %d, want 1 (matching copy costs only headers)", revalidated)
+	}
+	if refreshed != 1 {
+		t.Errorf("refreshed = %d, want 1 (drifted copy adopts store bytes)", refreshed)
+	}
+	if got, _ := local.Get("drift"); !bytes.Equal(got, drifted) {
+		t.Errorf("local drift copy = %q, want store's %q", got, drifted)
+	}
+	if got, ok := local.Get("absent"); ok {
+		t.Errorf("MarkKnown prefetched %q; gossip should stay lazy", got)
+	}
+	if c.KnownKeys() != 3 {
+		t.Errorf("KnownKeys = %d, want 3", c.KnownKeys())
+	}
+	// Re-gossip of known keys is a no-op (no second revalidation).
+	c.MarkKnown([]string{"same"})
+	c.mu.Lock()
+	if c.revalidated != revalidated {
+		t.Errorf("re-gossip revalidated again (%d)", c.revalidated)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,210 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"smthill/internal/sweep"
+)
+
+// StoreClient is a sweep.Backend backed by a remote fabric store with a
+// local read-through cache: Get consults the local backend first, then
+// fetches from the store (caching what it finds); Put writes through to
+// both. A worker plugs a StoreClient into its engine, so every memo
+// miss transparently checks whether any other node already computed the
+// key before burning cycles on it.
+//
+// The remote side is strictly best-effort: an unreachable store makes
+// Get a local-only lookup and Put a local-only write. Nothing blocks on
+// the network holding a lock, and no store failure can fail a job.
+type StoreClient struct {
+	base  string // store endpoint, e.g. "http://coord:8080/fabric/v1/store"
+	local sweep.Backend
+	hc    *http.Client
+
+	mu          sync.Mutex
+	known       map[string]bool // keys gossip says the store holds
+	localHits   uint64
+	remoteHits  uint64
+	misses      uint64
+	puts        uint64
+	putErrors   uint64
+	revalidated uint64
+	refreshed   uint64
+	netErrors   uint64
+}
+
+// NewStoreClient builds a client for the store mounted under baseURL
+// (the node base, e.g. "http://coord:8080"; the store path is
+// appended). local is the read-through cache — typically the node's
+// disk cache, or a MemStore — and may be nil for remote-only operation.
+// hc may be nil for http.DefaultClient.
+func NewStoreClient(baseURL string, local sweep.Backend, hc *http.Client) *StoreClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &StoreClient{
+		base:  baseURL + "/fabric/v1/store",
+		local: local,
+		hc:    hc,
+		known: map[string]bool{},
+	}
+}
+
+func (c *StoreClient) keyURL(key string) string {
+	return c.base + "?key=" + url.QueryEscape(key)
+}
+
+// Get implements sweep.Backend: local cache first, then the store; a
+// store hit is written back locally so the next lookup is free.
+func (c *StoreClient) Get(key string) (json.RawMessage, bool) {
+	if c.local != nil {
+		if raw, ok := c.local.Get(key); ok {
+			c.count(&c.localHits)
+			return raw, true
+		}
+	}
+	raw, ok := c.fetch(key, "")
+	if !ok {
+		return nil, false
+	}
+	c.count(&c.remoteHits)
+	if c.local != nil {
+		_ = c.local.Put(key, raw)
+	}
+	return raw, true
+}
+
+// fetch GETs one key, optionally conditionally. ok=false covers miss
+// and network failure alike (each counted); a 304 returns ok=false with
+// notModified=true.
+func (c *StoreClient) fetch(key, ifNoneMatch string) (raw json.RawMessage, ok bool) {
+	req, err := http.NewRequest(http.MethodGet, c.keyURL(key), nil)
+	if err != nil {
+		c.count(&c.netErrors)
+		return nil, false
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.count(&c.netErrors)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+		if err != nil || !json.Valid(raw) {
+			c.count(&c.netErrors)
+			return nil, false
+		}
+		return raw, true
+	case http.StatusNotModified:
+		c.count(&c.revalidated)
+		return nil, false
+	case http.StatusNotFound:
+		c.count(&c.misses)
+		return nil, false
+	default:
+		c.count(&c.netErrors)
+		return nil, false
+	}
+}
+
+// Put implements sweep.Backend: the local write always happens; the
+// remote write is best-effort (the engine treats Put errors as
+// non-fatal, and the gossip log means a missed upload only costs a
+// recompute elsewhere).
+func (c *StoreClient) Put(key string, raw json.RawMessage) error {
+	if c.local != nil {
+		_ = c.local.Put(key, raw)
+	}
+	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(raw))
+	if err != nil {
+		c.count(&c.putErrors)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.count(&c.putErrors)
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		c.count(&c.putErrors)
+		return fmt.Errorf("fabric: store put %s: HTTP %d", key, resp.StatusCode)
+	}
+	c.count(&c.puts)
+	c.mu.Lock()
+	c.known[key] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// MarkKnown records gossiped keys (results some node has stored). Keys
+// already held locally are revalidated with a conditional fetch — the
+// ETag is the content hash, so the client recomputes it from its local
+// copy and a match costs only headers. Keys not held locally are just
+// remembered; they fetch lazily if the engine ever asks.
+func (c *StoreClient) MarkKnown(keys []string) {
+	for _, key := range keys {
+		c.mu.Lock()
+		seen := c.known[key]
+		c.known[key] = true
+		c.mu.Unlock()
+		if seen || c.local == nil {
+			continue
+		}
+		local, ok := c.local.Get(key)
+		if !ok {
+			continue
+		}
+		if raw, ok := c.fetch(key, etagFor(local)); ok {
+			// The store holds different bytes than we do. Determinism
+			// makes this near-impossible for a same-version cluster, but
+			// the store is authoritative: adopt its copy.
+			_ = c.local.Put(key, raw)
+			c.count(&c.refreshed)
+		}
+	}
+}
+
+// KnownKeys returns how many distinct keys gossip (or our own puts)
+// says the store holds.
+func (c *StoreClient) KnownKeys() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.known)
+}
+
+func (c *StoreClient) count(u *uint64) {
+	c.mu.Lock()
+	*u++
+	c.mu.Unlock()
+}
+
+// WriteMetrics renders the client's counters in exposition format. The
+// outcome label says where a result came from, so an operator can read
+// the local/remote hit split per node.
+func (c *StoreClient) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"local_hit\"} %d\n", c.localHits)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"remote_hit\"} %d\n", c.remoteHits)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"miss\"} %d\n", c.misses)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"put\"} %d\n", c.puts)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"put_error\"} %d\n", c.putErrors)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"revalidated\"} %d\n", c.revalidated)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"refreshed\"} %d\n", c.refreshed)
+	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"net_error\"} %d\n", c.netErrors)
+	fmt.Fprintf(w, "smtserved_fabric_store_known_keys %d\n", len(c.known))
+}

@@ -35,7 +35,11 @@ func NewNondetRule() *NondetRule {
 			"internal/metrics", "internal/stats", "internal/isa",
 			"internal/experiment", "internal/simjob",
 		},
-		Allow: []string{"internal/rng", "internal/sweep", "internal/telemetry"},
+		// internal/fabric sits outside the determinism boundary like
+		// internal/serve: heartbeat timers, dispatch latency, and liveness
+		// clocks never feed simulator state (results cross the wire as
+		// key-addressed bytes).
+		Allow: []string{"internal/rng", "internal/sweep", "internal/telemetry", "internal/fabric"},
 	}
 }
 

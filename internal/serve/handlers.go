@@ -299,14 +299,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 		status = "draining"
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":                 status,
 		"queue_depth":            len(s.queue),
 		"queue_capacity":         s.cfg.QueueDepth,
 		"experiment_queue_depth": len(s.expQueue),
 		"inflight":               s.inflight.Load(),
 		"workers":                s.cfg.Workers,
-	})
+	}
+	if s.cfg.ExtraHealth != nil {
+		// Merging map into map is order-insensitive; JSON encoding sorts
+		// the keys.
+		for k, v := range s.cfg.ExtraHealth() {
+			body[k] = v
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 // handleMetrics renders the text exposition (see metrics.go).
@@ -321,4 +329,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		workers:       s.cfg.Workers,
 		jobsStored:    s.store.count(),
 	}, time.Now())
+	for _, write := range s.cfg.ExtraMetrics {
+		write(w)
+	}
 }

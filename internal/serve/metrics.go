@@ -29,6 +29,7 @@ type metricsSet struct {
 	finishedCanceled uint64
 	sweepDone        uint64
 	sweepHits        uint64
+	sweepRemote      uint64
 	httpCount        map[string]map[string]uint64 // route -> status -> count
 	httpLat          map[string]*telemetry.Hist   // route -> latency (ms)
 }
@@ -76,14 +77,22 @@ func (m *metricsSet) jobFinished(state JobState) {
 	m.mu.Unlock()
 }
 
-// observeSweep counts completed sweep jobs and memo/disk-cache hits.
+// observeSweep counts completed sweep jobs, memo/disk-cache hits, and
+// fabric-remote completions. A remote result is neither a local compute
+// nor a cache hit — it keeps its own counter so the hit ratio still
+// measures store effectiveness.
 func (m *metricsSet) observeSweep(ev sweep.Event) {
 	if ev.Kind != sweep.JobDone {
 		return
 	}
 	m.mu.Lock()
 	m.sweepDone++
-	if ev.Source != sweep.FromRun {
+	switch ev.Source {
+	case sweep.FromRun, sweep.FromRemote:
+		if ev.Source == sweep.FromRemote {
+			m.sweepRemote++
+		}
+	default:
 		m.sweepHits++
 	}
 	m.mu.Unlock()
@@ -142,6 +151,7 @@ func (m *metricsSet) write(w io.Writer, g gauges, now time.Time) {
 	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"canceled\"} %d\n", m.finishedCanceled)
 	fmt.Fprintf(w, "smtserved_sweep_jobs_total %d\n", m.sweepDone)
 	fmt.Fprintf(w, "smtserved_sweep_cache_hits_total %d\n", m.sweepHits)
+	fmt.Fprintf(w, "smtserved_sweep_remote_total %d\n", m.sweepRemote)
 	ratio := 0.0
 	if m.sweepDone > 0 {
 		ratio = float64(m.sweepHits) / float64(m.sweepDone)

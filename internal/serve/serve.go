@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -70,6 +71,22 @@ type Config struct {
 	// CacheDir enables the sweep engine's content-addressed disk cache
 	// (empty = memo only).
 	CacheDir string
+	// Backend, when set, is installed as the engine's result store in
+	// place of CacheDir — a fabric node composes its disk cache into a
+	// shared-store client (see internal/fabric.StoreClient) and passes
+	// the composite here.
+	Backend sweep.Backend
+	// Remote, when set, is installed as the engine's remote-execution
+	// delegate (e.g. a fabric coordinator): each job is offered to it
+	// before running locally, and any decline falls back to local
+	// compute.
+	Remote sweep.Remote
+	// ExtraMetrics appends additional sections to the /metrics
+	// exposition (e.g. fabric dispatch and store counters).
+	ExtraMetrics []func(io.Writer)
+	// ExtraHealth merges additional keys into the /healthz body (e.g.
+	// fabric role and peer liveness).
+	ExtraHealth func() map[string]any
 	// EventBuffer caps each job's SSE replay buffer (default 8192).
 	EventBuffer int
 	// RetainJobs caps how many finished jobs stay pollable; beyond it
@@ -185,7 +202,10 @@ func New(cfg Config) (*Server, error) {
 		cancelBase: cancel,
 		watchers:   make(map[string]map[*job]struct{}),
 	}
-	if cfg.CacheDir != "" {
+	switch {
+	case cfg.Backend != nil:
+		s.eng.SetBackend(cfg.Backend)
+	case cfg.CacheDir != "":
 		c, err := sweep.NewCache(cfg.CacheDir)
 		if err != nil {
 			cancel()
@@ -193,6 +213,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		c.SetLogf(cfg.Logf)
 		s.eng.SetCache(c)
+	}
+	if cfg.Remote != nil {
+		s.eng.SetRemote(cfg.Remote)
 	}
 	s.eng.AddObserver(s.observeSweep)
 	experiment.SetEngine(s.eng)

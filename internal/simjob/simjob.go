@@ -44,6 +44,17 @@ const (
 // to Result or to the simulation semantics behind it.
 const schemaVersion = 1
 
+// WireVersion is the current Spec/Result JSON wire version. It exists
+// so the distributed fabric's coordinator/worker exchange can evolve
+// without silent skew: a sender stamps Version, a receiver rejects
+// versions newer than it understands instead of misinterpreting the
+// payload. Version zero (the field omitted) always means "current", so
+// standalone clients and cached entries never need restamping.
+// WireVersion is deliberately separate from schemaVersion: bumping the
+// wire version adds fields the other side may not know, bumping the
+// schema version changes what a cached Result means.
+const WireVersion = 1
+
 // Techniques lists the distribution techniques a Spec may name, in
 // presentation order (the baselines, then static partitioning, then the
 // paper's learners).
@@ -58,6 +69,10 @@ func Techniques() []string {
 // technique, and the epoch geometry. The zero value of every optional
 // field selects the cmd/smtsim default.
 type Spec struct {
+	// Version is the wire version the producing client speaks (0 means
+	// current; see WireVersion). It never enters Key — equal specs at
+	// different wire versions are the same simulation.
+	Version int `json:"version,omitempty"`
 	// Workload is a Table 3 workload name ("art-mcf") or a
 	// comma-separated list of catalog application names.
 	Workload string `json:"workload"`
@@ -116,6 +131,9 @@ func (s Spec) Validate() error {
 // geometry. Split out so runs on an already-resolved workload (custom
 // .profile models, see RunWorkload) validate the same way.
 func (s Spec) validateShape() error {
+	if err := checkWireVersion(s.Version); err != nil {
+		return err
+	}
 	if !validTech(s.Tech) {
 		return fmt.Errorf("simjob: unknown technique %q; valid techniques: %s",
 			s.Tech, strings.Join(Techniques(), " "))
@@ -177,6 +195,11 @@ type ThreadResult struct {
 // carries exactly the quantities cmd/smtsim prints, so the CLI's -json
 // mode and the daemon's job API share one schema.
 type Result struct {
+	// Version is the wire version of the producing node (0 means
+	// current; see WireVersion). Omitted on the standalone path so CLI
+	// and daemon output are unchanged; the fabric stamps it on exec
+	// responses and the coordinator rejects versions it does not speak.
+	Version int `json:"version,omitempty"`
 	// Workload, Tech, Epochs, and EpochSize echo the normalised Spec.
 	Workload  string `json:"workload"`
 	Tech      string `json:"tech"`
@@ -197,6 +220,65 @@ type Result struct {
 	// adopted (rename registers per thread); empty for unpartitioned
 	// techniques.
 	FinalShares []int `json:"final_shares,omitempty"`
+}
+
+// checkWireVersion rejects wire versions this build does not speak.
+// Zero (field omitted) and every version up to WireVersion are
+// accepted — the schema only grows within a wire version.
+func checkWireVersion(v int) error {
+	if v < 0 || v > WireVersion {
+		return fmt.Errorf("simjob: unsupported wire version %d (this build speaks <= %d); upgrade the older node", v, WireVersion)
+	}
+	return nil
+}
+
+// CheckVersion validates a received Result's wire version; see
+// checkWireVersion for the acceptance rule.
+func (r Result) CheckVersion() error { return checkWireVersion(r.Version) }
+
+// SpecFromKey reconstructs the Spec addressed by a canonical simjob
+// cache key (the inverse of Spec.Key). ok=false means the key belongs
+// to some other job family; an error means the key claims to be a
+// simjob key but does not parse or validate. This is how a fabric
+// worker turns a dispatched key back into runnable work.
+func SpecFromKey(key string) (Spec, bool, error) {
+	prefix, params, err := sweep.ParseKey(key)
+	if err != nil {
+		return Spec{}, false, err
+	}
+	if prefix != fmt.Sprintf("v%d|simjob", schemaVersion) {
+		return Spec{}, false, nil
+	}
+	var s Spec
+	s.Workload = params["wl"]
+	s.Tech = params["tech"]
+	fields := []struct {
+		name string
+		dst  *int
+	}{
+		{"ep", &s.Epochs}, {"es", &s.EpochSize}, {"wu", &s.Warmup}, {"d", &s.Delta},
+	}
+	for _, f := range fields {
+		v, err := strconv.Atoi(params[f.name])
+		if err != nil {
+			return Spec{}, false, fmt.Errorf("simjob: key %q: bad %s: %v", key, f.name, err)
+		}
+		*f.dst = v
+	}
+	seed, err := strconv.ParseUint(params["seed"], 10, 64)
+	if err != nil {
+		return Spec{}, false, fmt.Errorf("simjob: key %q: bad seed: %v", key, err)
+	}
+	s.Seed = seed
+	if err := s.Validate(); err != nil {
+		return Spec{}, false, err
+	}
+	if got := s.Key(); got != key {
+		// A key that parses but does not round-trip would address a
+		// different cache entry than it executes; refuse it.
+		return Spec{}, false, fmt.Errorf("simjob: key %q does not round-trip (rebuilt %q)", key, got)
+	}
+	return s, true, nil
 }
 
 // Build constructs the machine, distributor, and feedback metric for a

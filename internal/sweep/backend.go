@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// Backend is a pluggable result store behind the engine's in-process
+// memo. The on-disk Cache is the canonical implementation; a fabric
+// node substitutes an HTTP content-addressed store client (see
+// internal/fabric) so every node in a cluster shares one warm store.
+//
+// Implementations must be safe for concurrent use. Get reports a miss
+// for any entry it cannot serve verbatim (absent, corrupt, wrong
+// schema); Put must be atomic — a concurrent reader sees either the
+// whole entry or none of it — and idempotent, because the determinism
+// contract makes every write of a key carry identical bytes.
+type Backend interface {
+	// Get returns the stored raw JSON result for key, or ok=false on
+	// any miss.
+	Get(key string) (json.RawMessage, bool)
+	// Put stores the raw JSON result for key. Failures are reported but
+	// never treated as job failures by the engine.
+	Put(key string, result json.RawMessage) error
+}
+
+// Remote lets the engine delegate a job's computation to another node
+// by key alone (the key encodes everything the result depends on — see
+// the package determinism contract). Exec returns handled=false to
+// decline, in which case the engine computes the job locally; a
+// non-nil error fails the job (reserve it for context cancellation —
+// a remote-side failure should decline instead, keeping local compute
+// as the fallback).
+type Remote interface {
+	Exec(ctx context.Context, key string) (raw json.RawMessage, handled bool, err error)
+}
+
+// SetBackend attaches a result store backend (nil detaches it). Like
+// SetCache it must be called before the first Run.
+func (e *Engine) SetBackend(b Backend) { e.cache = b }
+
+// SetRemote installs a remote execution delegate consulted before each
+// local job run (nil removes it). Must be called before the first Run.
+func (e *Engine) SetRemote(r Remote) { e.remote = r }
+
+// Lookup consults the in-process memo, then the backend, returning the
+// stored raw JSON for key. A backend hit is promoted into the memo.
+// Exported for fabric workers, which answer exec requests with the
+// exact bytes the engine stored.
+func (e *Engine) Lookup(key string) (json.RawMessage, Source, bool) {
+	return e.lookup(key)
+}

@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // SchemaVersion tags every cache file. Bump it when the on-disk entry
@@ -95,7 +97,13 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	return e.Result, true
 }
 
-// Put stores the raw JSON result for key atomically.
+// Put stores the raw JSON result for key atomically and durably: the
+// entry is written to a temp file, fsynced, renamed into place, and the
+// fan-out directory is fsynced so the rename itself survives a crash.
+// A worker killed at any point can therefore never leave a truncated
+// entry visible to a shared store — readers see the old entry (none)
+// or the whole new one. (Get additionally treats a corrupt entry as a
+// miss, so even bit rot downgrades to a recompute, never an error.)
 func (c *Cache) Put(key string, result json.RawMessage) error {
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
@@ -114,9 +122,37 @@ func (c *Cache) Put(key string, result json.RawMessage) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// Flush file contents before the rename publishes the name: rename
+	// is atomic for readers, but only the fsync makes the bytes behind
+	// it durable — without it a crash can promote an empty file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), p)
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(p))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry's name is durable.
+// Filesystems that reject directory fsync (some network mounts) are
+// tolerated: the entry is still atomically visible, only crash
+// durability is reduced to the filesystem's own guarantee.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -28,6 +29,43 @@ func KeyFrom(prefix string, params map[string]string) string {
 	return b.String()
 }
 
+// ParseKey inverts KeyFrom: it splits a canonical job key into its
+// prefix (every leading '|'-separated segment that is not a
+// "name=value" pair) and its parameter map. Keys are the wire currency
+// of the distributed fabric — a worker reconstructs the job to run
+// from its key alone — so the grammar must round-trip:
+// ParseKey(KeyFrom(p, m)) == (p, m) for every escapable p and m.
+func ParseKey(key string) (prefix string, params map[string]string, err error) {
+	segs := strings.Split(key, "|")
+	params = map[string]string{}
+	inParams := false
+	var pre []string
+	for _, seg := range segs {
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 {
+			if inParams {
+				return "", nil, fmt.Errorf("sweep: malformed key %q: prefix segment %q after parameters", key, seg)
+			}
+			pre = append(pre, seg)
+			continue
+		}
+		inParams = true
+		name, uerr := unescapeKeyPart(seg[:eq])
+		if uerr != nil {
+			return "", nil, fmt.Errorf("sweep: malformed key %q: %v", key, uerr)
+		}
+		val, uerr := unescapeKeyPart(seg[eq+1:])
+		if uerr != nil {
+			return "", nil, fmt.Errorf("sweep: malformed key %q: %v", key, uerr)
+		}
+		if _, dup := params[name]; dup {
+			return "", nil, fmt.Errorf("sweep: malformed key %q: duplicate parameter %q", key, name)
+		}
+		params[name] = val
+	}
+	return strings.Join(pre, "|"), params, nil
+}
+
 // escapeKeyPart makes a string safe to embed between KeyFrom's '|' and
 // '=' separators. '%' must be escaped first so escapes stay reversible.
 func escapeKeyPart(s string) string {
@@ -37,4 +75,34 @@ func escapeKeyPart(s string) string {
 	s = strings.ReplaceAll(s, "%", "%25")
 	s = strings.ReplaceAll(s, "|", "%7C")
 	return strings.ReplaceAll(s, "=", "%3D")
+}
+
+// unescapeKeyPart reverses escapeKeyPart, rejecting escapes it never
+// emits so a forged key cannot alias a legitimate one.
+func unescapeKeyPart(s string) (string, error) {
+	if !strings.ContainsRune(s, '%') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("truncated escape in %q", s)
+		}
+		switch s[i+1 : i+3] {
+		case "25":
+			b.WriteByte('%')
+		case "7C":
+			b.WriteByte('|')
+		case "3D":
+			b.WriteByte('=')
+		default:
+			return "", fmt.Errorf("unknown escape %%%s in %q", s[i+1:i+3], s)
+		}
+		i += 2
+	}
+	return b.String(), nil
 }

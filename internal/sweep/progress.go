@@ -27,8 +27,11 @@ const (
 	FromRun Source = "run"
 	// FromMemo marks an in-process memoisation hit.
 	FromMemo Source = "memo"
-	// FromCache marks an on-disk cache hit.
+	// FromCache marks a backend (disk cache or shared store) hit.
 	FromCache Source = "cache"
+	// FromRemote marks a result computed by another node through the
+	// engine's Remote delegate (see internal/fabric).
+	FromRemote Source = "remote"
 )
 
 // Event is one observability sample from the engine. Counter fields are

@@ -60,7 +60,8 @@ type Job[R any] struct {
 // across batches, accumulating its in-process memo.
 type Engine struct {
 	workers   int
-	cache     *Cache
+	cache     Backend
+	remote    Remote
 	observers []func(Event)
 
 	mu   sync.Mutex
@@ -85,8 +86,15 @@ func (e *Engine) Workers() int {
 	return e.workers
 }
 
-// SetCache attaches an on-disk result cache (nil detaches it).
-func (e *Engine) SetCache(c *Cache) { e.cache = c }
+// SetCache attaches an on-disk result cache (nil detaches it). It is
+// shorthand for SetBackend with the canonical disk implementation.
+func (e *Engine) SetCache(c *Cache) {
+	if c == nil {
+		e.cache = nil // avoid a typed-nil Backend
+		return
+	}
+	e.cache = c
+}
 
 // SetObserver installs fn as the only progress hook, replacing any
 // observers added so far (nil removes them all). Events are delivered
@@ -173,8 +181,8 @@ func (b *batch) event(kind EventKind, key string, src Source, dur time.Duration)
 		b.running++
 	case JobDone:
 		b.done++
-		if src == FromRun {
-			b.running--
+		if src == FromRun || src == FromRemote {
+			b.running-- // the job occupied a worker slot either way
 		} else {
 			b.cacheHits++
 		}
@@ -270,11 +278,8 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, er
 				}
 				st.event(JobStarted, ij.job.Key, FromRun, 0)
 				start := time.Now()
-				val, err := runSafe(ctx, ij.job)
-				if err == nil {
-					e.store(ij.job.Key, val)
-				}
-				st.event(JobDone, ij.job.Key, FromRun, time.Since(start))
+				val, src, err := execute(ctx, e, ij.job)
+				st.event(JobDone, ij.job.Key, src, time.Since(start))
 				out <- outcome{idx: ij.idx, key: ij.job.Key, val: val, err: err}
 			}
 		}()
@@ -321,6 +326,38 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, er
 		return results, cancelErr
 	}
 	return results, ctx.Err()
+}
+
+// execute computes one job, preferring the engine's remote delegate
+// when one is installed. A remote result is adopted only if it
+// unmarshals as R; its exact bytes are remembered (and offered to the
+// backend) so a later local lookup serves what the remote computed,
+// byte for byte. A declined or malformed remote answer falls back to
+// the local run — distribution is an optimisation, never a correctness
+// dependency.
+func execute[R any](ctx context.Context, e *Engine, j Job[R]) (R, Source, error) {
+	if e.remote != nil {
+		raw, handled, err := e.remote.Exec(ctx, j.Key)
+		if err != nil {
+			var zero R
+			return zero, FromRemote, err
+		}
+		if handled {
+			var val R
+			if uerr := json.Unmarshal(raw, &val); uerr == nil {
+				e.remember(j.Key, raw)
+				if e.cache != nil {
+					_ = e.cache.Put(j.Key, raw)
+				}
+				return val, FromRemote, nil
+			}
+		}
+	}
+	val, err := runSafe(ctx, j)
+	if err == nil {
+		e.store(j.Key, val)
+	}
+	return val, FromRun, err
 }
 
 // runSafe invokes the job, converting a panic into an error carrying the
