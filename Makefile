@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race serve-smoke fabric-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
+.PHONY: ci vet lint build test race serve-smoke fabric-smoke obs-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
 
 # ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
 # build everything, the full test suite under the race detector
@@ -8,11 +8,14 @@ GO ?= go
 # TestWorkerPoolConcurrency; internal/serve's daemon tests exercise the
 # queue/SSE/shutdown paths), the process-level daemon smoke, the fabric
 # cluster smoke (coordinator + 2 workers, byte-identical output under
-# -race), one iteration of the telemetry overhead benchmarks so a hot-loop
-# regression fails loudly, the benchmark-trajectory gate against the
-# committed baseline, and a short fuzz smoke over the text-format
-# parsers plus an invariant-checked fig9 run.
-ci: vet lint build race serve-smoke fabric-smoke benchsmoke bench-gate fuzzsmoke
+# -race), the observability smoke (a traced fig4 run across a live
+# coordinator + 2 workers must produce one complete cross-node trace and
+# a federated /metrics/cluster scrape), one iteration of the telemetry
+# overhead benchmarks so a hot-loop regression fails loudly, the
+# benchmark-trajectory gate against the committed baseline, and a short
+# fuzz smoke over the text-format parsers plus an invariant-checked
+# fig9 run.
+ci: vet lint build race serve-smoke fabric-smoke obs-smoke benchsmoke bench-gate fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -46,24 +49,39 @@ serve-smoke:
 fabric-smoke:
 	$(GO) test -race -count=1 ./internal/fabric
 
+# obs-smoke runs the observability end-to-end check under the race
+# detector: an in-process coordinator and two traced workers execute a
+# traced fig4 sweep; a single trace ID must span submit, dispatch,
+# remote compute, and store write-back, and /metrics/cluster must
+# federate every live worker and mark a killed one stale (see
+# internal/fabric/obs_test.go and DESIGN.md "Observability").
+obs-smoke:
+	$(GO) test -race -run TestObsSmoke -count=1 ./internal/fabric
+
 # benchsmoke runs the machine-speed benchmarks once — not a timing gate,
 # just proof they still compile and complete.
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkMachine -benchtime 1x .
 
 # bench-json measures the tracked hot-loop benchmarks (SimulatorSpeed,
-# TelemetryOff, Checkpoint) and writes BENCH_PR5.json — the perf
-# trajectory artifact described in DESIGN.md "Hot-loop performance".
+# TelemetryOff, TracingOff, Checkpoint) and writes BENCH_PR7.json — the
+# perf trajectory artifact described in DESIGN.md "Hot-loop performance".
 # Commit the refreshed file when a PR intentionally moves the numbers.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
-# bench-gate re-measures and compares against the committed previous
-# baseline: ns/op may regress at most 25% (noise allowance), allocs/op
-# may not grow at all. A failure means the hot loop got slower or
-# started allocating — see DESIGN.md for how to read the numbers.
-bench-gate: bench-json
-	$(GO) run ./cmd/benchjson -gate -old BENCH_PR4.json -new BENCH_PR5.json
+# bench-gate measures the working tree into a scratch file and compares
+# it against the committed current artifact: ns/op may regress at most
+# 25% (noise allowance), allocs/op may not grow at all (a benchmark with
+# no entry in the old baseline is reported, not failed). Gating against
+# the committed artifact — not the previous PR's — keeps the comparison
+# same-host; cross-PR trajectory lives in the BENCH_PR*.json history.
+# A failure means the hot loop got slower or started allocating — see
+# DESIGN.md for how to read the numbers.
+bench-gate:
+	mkdir -p bin
+	$(GO) run ./cmd/benchjson -out bin/bench_head.json
+	$(GO) run ./cmd/benchjson -gate -old BENCH_PR7.json -new bin/bench_head.json
 
 # fuzzsmoke runs each fuzz target briefly — enough to exercise the seed
 # corpora plus a few thousand mutations, not a soak — and finishes with

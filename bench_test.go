@@ -10,12 +10,14 @@
 package smthill
 
 import (
+	"context"
 	"testing"
 
 	"smthill/internal/core"
 	"smthill/internal/experiment"
 	"smthill/internal/isa"
 	"smthill/internal/metrics"
+	"smthill/internal/obs"
 	"smthill/internal/pipeline"
 	"smthill/internal/telemetry"
 	"smthill/internal/trace"
@@ -365,6 +367,21 @@ func BenchmarkMachineTelemetryOff(b *testing.B) {
 // histograms when tracing is requested.
 func BenchmarkMachineTelemetryOn(b *testing.B) {
 	benchCycleLoop(b, true)
+}
+
+// BenchmarkMachineTracingOff pins the PR 7 contract: with no tracer in
+// the context, the obs hooks must stay completely inert — nil spans, a
+// pass-through epoch sink, and the same zero-alloc cycle loop as
+// BenchmarkMachineTelemetryOff.
+func BenchmarkMachineTracingOff(b *testing.B) {
+	ctx := context.Background()
+	if _, span := obs.Start(ctx, "bench", obs.KindInternal); span != nil {
+		b.Fatal("tracing unexpectedly enabled without a tracer in context")
+	}
+	if sink := obs.EpochSpans(ctx, nil); sink != nil {
+		b.Fatal("EpochSpans must pass the sink through unchanged with tracing off")
+	}
+	benchCycleLoop(b, false)
 }
 
 // BenchmarkCheckpoint measures the cost of the checkpoint primitive as

@@ -53,11 +53,12 @@ type File struct {
 // tracked lists the benchmarks the trajectory follows, and whether one
 // benchmark op is one simulated cycle (so cycles/sec is derivable).
 var tracked = []struct {
-	name     string
+	name      string
 	cycleLoop bool
 }{
 	{"SimulatorSpeed", true},
 	{"MachineTelemetryOff", true},
+	{"MachineTracingOff", true},
 	{"Checkpoint", false},
 }
 
@@ -235,9 +236,15 @@ func runGate(oldPath, newPath string, tol float64) error {
 	for _, t := range tracked {
 		o, okO := oldF.Benchmarks[t.name]
 		n, okN := newF.Benchmarks[t.name]
-		if !okO || !okN {
-			fmt.Printf("%-20s missing from %s\n", t.name, map[bool]string{false: oldPath, true: newPath}[okO])
+		if !okN {
+			fmt.Printf("%-20s missing from %s\n", t.name, newPath)
 			bad++
+			continue
+		}
+		if !okO {
+			// A benchmark added after the old baseline was captured has
+			// nothing to regress against; report it and move on.
+			fmt.Printf("%-20s %12s -> %12.1f ns/op  new benchmark (no baseline)\n", t.name, "-", n.NsPerOp)
 			continue
 		}
 		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp

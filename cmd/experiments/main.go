@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"smthill/internal/experiment"
+	"smthill/internal/obs"
 	"smthill/internal/sweep"
 	"smthill/internal/telemetry"
 	"smthill/internal/workload"
@@ -49,6 +50,7 @@ func main() {
 		jsonRows   = flag.Bool("json", false, "emit JSON lines instead of tables for fig4/fig9/fig11")
 		check      = flag.Bool("check", false, "enable per-cycle pipeline invariant checking on every machine (slow; panics on violation)")
 		trace      = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
+		spansOut   = flag.String("trace-spans", "", "record a span per sweep job to this file (.csv for CSV, else JSONL)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -65,12 +67,12 @@ func main() {
 	// exit runs deferred cleanups (profile writers, sink flushes) before
 	// exiting: main wraps the real work so os.Exit never skips a defer.
 	os.Exit(run(flag.Args(), *epochs, *stride, *paper, *loadsFlag, *wl, *jobs,
-		*cacheDir, *progress, *jsonRows, *trace, *pprofAddr, *cpuprofile, *memprofile))
+		*cacheDir, *progress, *jsonRows, *trace, *spansOut, *pprofAddr, *cpuprofile, *memprofile))
 }
 
 func run(args []string, epochs, stride int, paper bool, loadsFlag, wl string,
 	jobs int, cacheDir string, progress, jsonRows bool,
-	trace, pprofAddr, cpuprofile, memprofile string) int {
+	trace, spansOut, pprofAddr, cpuprofile, memprofile string) int {
 	// Ctrl-C / SIGTERM cancels the sweep context: in-flight simulations
 	// finish or stop at their next epoch boundary, queued ones are
 	// skipped, and only complete results were (atomically) written to the
@@ -145,6 +147,27 @@ func run(args []string, epochs, stride int, paper bool, loadsFlag, wl string,
 		meter = sweep.NewMeter(sink, eng.Workers())
 		eng.AddObserver(meter.Observe)
 	}
+	// Span recording is separate from -trace: events describe what each
+	// worker did, spans describe the causal tree (one root for the whole
+	// invocation, one child per executed sweep job). Experiment table
+	// output on stdout is unaffected either way.
+	var closeSpans func() error
+	var rootSpan *obs.Span
+	if spansOut != "" {
+		sink, closer, err := telemetry.OpenSink(spansOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		closeSpans = closer
+		tracer := obs.NewTracer(obs.TracerConfig{
+			Node:     "experiments",
+			SampleN:  1,
+			Exporter: obs.SinkExporter(sink),
+		})
+		ctx, rootSpan = tracer.StartRoot(ctx, "experiments", obs.KindInternal)
+		experiment.SetContext(ctx)
+	}
 	experiment.SetEngine(eng)
 
 	opts := experiment.RunOptions{Workloads: loadsFlag, Fig12Workload: wl, JSONRows: jsonRows}
@@ -163,6 +186,21 @@ func run(args []string, epochs, stride int, paper bool, loadsFlag, wl string,
 
 	if meter != nil {
 		meter.Summarize()
+	}
+	if rootSpan != nil {
+		if code != 0 {
+			rootSpan.End(fmt.Errorf("exit %d", code))
+		} else {
+			rootSpan.End(nil)
+		}
+	}
+	if closeSpans != nil {
+		if err := closeSpans(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
 	}
 	if closeSink != nil {
 		if err := closeSink(); err != nil {

@@ -13,6 +13,8 @@
 //	GET  /v1/experiments/{name}  run a named experiment (table1..fig12)
 //	GET  /healthz                liveness (503 while draining)
 //	GET  /metrics                text metrics exposition
+//	GET  /debug/traces           recorded trace spans (with -trace-sample)
+//	GET  /metrics/cluster        federated fleet metrics (coordinator role)
 //
 // Identical submissions share the sweep engine's memo and, with
 // -cache-dir, its content-addressed disk cache — the second client gets
@@ -41,7 +43,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -53,8 +54,10 @@ import (
 
 	"smthill/internal/experiment"
 	"smthill/internal/fabric"
+	"smthill/internal/obs"
 	"smthill/internal/serve"
 	"smthill/internal/sweep"
+	"smthill/internal/telemetry"
 )
 
 func main() {
@@ -83,6 +86,10 @@ func run() int {
 		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "worker heartbeat interval")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 10*time.Second, "coordinator reaps workers silent this long")
 		stealDepth = flag.Int("steal-depth", 4, "coordinator steals a job when the owner's queue is this much deeper than the least-loaded worker's")
+
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N API requests (0 disables tracing; errors are always sampled)")
+		traceRing   = flag.Int("trace-ring", 2048, "spans retained in the in-process ring behind /debug/traces")
+		traceOut    = flag.String("trace-out", "", "also export recorded spans as telemetry events to this file (.csv or JSONL)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "smtserved: ", log.LstdFlags)
@@ -105,6 +112,31 @@ func run() int {
 	if *paper {
 		cfg.Experiments = experiment.Paper()
 	}
+
+	// Observability: one node-wide metric registry (serve and fabric
+	// series render on a single /metrics scrape) and, with
+	// -trace-sample, a tracer behind /debug/traces.
+	reg := obs.NewRegistry()
+	cfg.Registry = reg
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		node := *nodeID
+		if node == "" {
+			node = *role
+		}
+		tcfg := obs.TracerConfig{Node: node, SampleN: *traceSample, RingCapacity: *traceRing}
+		if *traceOut != "" {
+			sink, closeSink, err := telemetry.OpenSink(*traceOut)
+			if err != nil {
+				logger.Print(err)
+				return 1
+			}
+			defer closeSink()
+			tcfg.Exporter = obs.SinkExporter(sink)
+		}
+		tracer = obs.NewTracer(tcfg)
+	}
+	cfg.Tracer = tracer
 
 	// localCache opens the -cache-dir disk cache when configured; fabric
 	// roles compose it into their store stack instead of handing it to
@@ -137,11 +169,13 @@ func run() int {
 			HeartbeatTimeout: *hbTimeout,
 			StealDepth:       *stealDepth,
 			Logf:             logger.Printf,
+			Tracer:           tracer,
+			ScrapeInterval:   *heartbeat,
 		})
 		cfg.CacheDir = ""
 		cfg.Backend = coord.Backend()
 		cfg.Remote = coord
-		cfg.ExtraMetrics = []func(io.Writer){coord.WriteMetrics}
+		reg.Attach(coord.Registry())
 		cfg.ExtraHealth = coord.Health
 	case "worker":
 		if *coordURL == "" {
@@ -164,16 +198,13 @@ func run() int {
 		return 2
 	}
 
-	// The worker is built after serve.New (it wraps the server's engine)
-	// but its metrics and health surfaces are wired into cfg now, so they
-	// late-bind through an atomic pointer.
+	// The worker is built after serve.New (it wraps the server's engine);
+	// its health surface is wired into cfg now and late-binds through an
+	// atomic pointer. Its metric registry is attached to the node
+	// registry at construction — /metrics reads the registry at scrape
+	// time, so the late attach is invisible to clients.
 	var wp atomic.Pointer[fabric.Worker]
 	if *role == "worker" {
-		cfg.ExtraMetrics = []func(io.Writer){func(out io.Writer) {
-			if w := wp.Load(); w != nil {
-				w.WriteMetrics(out)
-			}
-		}}
 		cfg.ExtraHealth = func() map[string]any {
 			if w := wp.Load(); w != nil {
 				return w.Health()
@@ -205,6 +236,7 @@ func run() int {
 	case "coordinator":
 		mux := http.NewServeMux()
 		mux.Handle("/fabric/v1/", coord.Handler())
+		mux.HandleFunc("GET /metrics/cluster", coord.HandleClusterMetrics)
 		mux.Handle("/", srv)
 		handler = mux
 		logger.Printf("fabric coordinator ready; workers register at http://%s/fabric/v1/register", ln.Addr())
@@ -223,7 +255,9 @@ func run() int {
 			AdvertiseURL:   adv,
 			HeartbeatEvery: *heartbeat,
 			Logf:           logger.Printf,
+			Tracer:         tracer,
 		}, srv.Engine(), workerStore)
+		reg.Attach(w.Registry())
 		wp.Store(w)
 		w.Start(ctx)
 		mux := http.NewServeMux()

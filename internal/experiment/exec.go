@@ -208,7 +208,7 @@ func execJob[R any](ctx context.Context, eng *sweep.Engine, key string, j sweep.
 	if _, err := sweep.Run(ctx, eng, []sweep.Job[R]{j}); err != nil {
 		return nil, true, err
 	}
-	raw, _, ok := eng.Lookup(key)
+	raw, _, ok := eng.Lookup(ctx, key)
 	if !ok {
 		return nil, true, fmt.Errorf("experiment: exec %s: result is not cacheable", key)
 	}

@@ -52,7 +52,7 @@ func TestExecKeyMatchesNativeJobs(t *testing.T) {
 	for _, c := range cases {
 		SetEngine(native)
 		c.run()
-		want, _, ok := native.Lookup(c.key)
+		want, _, ok := native.Lookup(context.Background(), c.key)
 		if !ok {
 			t.Fatalf("%s: native run left no memo entry for %s", c.family, c.key)
 		}

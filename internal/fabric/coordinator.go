@@ -11,8 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"smthill/internal/obs"
 	"smthill/internal/sweep"
-	"smthill/internal/telemetry"
 )
 
 // CoordinatorConfig parameterises a Coordinator. The zero value of
@@ -39,6 +39,15 @@ type CoordinatorConfig struct {
 	Client *http.Client
 	// Logf receives operational log lines (nil = discard).
 	Logf func(format string, args ...any)
+	// Tracer, when set, records dispatch client spans (with placement
+	// decisions as span events) and adopts the spans workers backhaul
+	// in exec responses, so the coordinator's ring holds whole
+	// cross-node traces.
+	Tracer *obs.Tracer
+	// ScrapeInterval rate-limits federation: a worker's /metrics is
+	// scraped at most once per interval, triggered by its heartbeats
+	// (default 2s, the default worker heartbeat cadence).
+	ScrapeInterval time.Duration
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -62,6 +71,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.ScrapeInterval <= 0 {
+		c.ScrapeInterval = 2 * time.Second
 	}
 	return c
 }
@@ -88,6 +100,7 @@ type Coordinator struct {
 	store    *storeLog
 	storeSrv *StoreServer
 	handler  http.Handler
+	fed      *obs.Federator
 
 	mu       sync.Mutex
 	members  map[string]*member
@@ -95,16 +108,15 @@ type Coordinator struct {
 	affinity map[string]string
 	affOrder []string // affinity insertion order, for cap eviction
 
-	// counters (guarded by mu)
-	dispatchOwner    uint64
-	dispatchStolen   uint64
-	dispatchAffinity uint64
-	redispatched     uint64
-	dispatchFailed   uint64
-	localFallback    uint64
-	reaped           uint64
-	registered       uint64
-	execMS           telemetry.Hist
+	reg            *obs.Registry
+	peersGauge     *obs.GaugeVec   // state
+	dispatches     *obs.CounterVec // kind
+	redispatched   *obs.Counter
+	dispatchFailed *obs.Counter
+	localFallback  *obs.Counter
+	reapedTotal    *obs.Counter
+	registeredTot  *obs.Counter
+	execMS         *obs.Hist
 }
 
 // NewCoordinator builds a coordinator. Mount Handler under /fabric/v1/
@@ -113,15 +125,42 @@ type Coordinator struct {
 // the rest.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	c := &Coordinator{
 		cfg:      cfg,
 		now:      time.Now,
 		store:    newStoreLog(cfg.Store),
+		fed:      obs.NewFederator(cfg.Client),
 		members:  map[string]*member{},
 		ring:     NewRing(cfg.Vnodes),
 		affinity: map[string]string{},
+		reg:      reg,
+		peersGauge: reg.GaugeVec("smtserved_fabric_peers",
+			"registered workers by liveness state", "state"),
+		dispatches: reg.CounterVec("smtserved_fabric_dispatch_total",
+			"successful dispatches by placement kind", "kind"),
+		redispatched: reg.Counter("smtserved_fabric_redispatch_total",
+			"dispatch attempts after the first, per job"),
+		dispatchFailed: reg.Counter("smtserved_fabric_dispatch_failed_total",
+			"jobs every candidate worker failed to serve"),
+		localFallback: reg.Counter("smtserved_fabric_local_fallback_total",
+			"jobs declined to the local engine (no live workers or non-retryable rejection)"),
+		reapedTotal: reg.Counter("smtserved_fabric_workers_reaped_total",
+			"workers removed after missing heartbeats"),
+		registeredTot: reg.Counter("smtserved_fabric_workers_registered_total",
+			"distinct workers ever registered"),
+		execMS: reg.Hist("smtserved_fabric_exec_ms",
+			"end-to-end dispatch latency in milliseconds"),
+	}
+	// Materialize the full label vocabulary so zero-valued series render.
+	c.peersGauge.With("alive")
+	c.peersGauge.With("dead")
+	for _, k := range []string{"owner", "stolen", "affinity"} {
+		c.dispatches.With(k)
 	}
 	c.storeSrv = NewStoreServer(c.store)
+	c.storeSrv.SetTracer(cfg.Tracer)
+	reg.Attach(c.storeSrv.Registry())
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fabric/v1/register", c.handleRegister)
 	mux.HandleFunc("POST /fabric/v1/heartbeat", c.handleHeartbeat)
@@ -139,43 +178,92 @@ func (c *Coordinator) Handler() http.Handler { return c.handler }
 // store (and its gossip log) exactly like worker uploads.
 func (c *Coordinator) Backend() sweep.Backend { return c.store }
 
+// Registry returns the coordinator's metric registry (dispatch,
+// liveness, and store-server series), for attachment into a node-wide
+// registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	_, span := c.cfg.Tracer.StartFrom(r.Context(), obs.Extract(r.Header), "fabric.register", obs.KindServer)
 	var req RegisterRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("bad register request: %v", err), http.StatusBadRequest)
+		span.End(err)
 		return
 	}
 	if err := checkProtoVersion(req.Version); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		span.End(err)
 		return
 	}
 	if req.ID == "" || req.Addr == "" {
 		http.Error(w, "register requires id and addr", http.StatusBadRequest)
+		span.End(fmt.Errorf("register missing id/addr"))
 		return
 	}
 	c.admit(req.ID, req.Addr, 0)
+	span.SetAttr("worker", req.ID)
+	span.End(nil)
 	writeProtoJSON(w, RegisterResponse{Version: ProtocolVersion, StoreSeq: c.store.seq()})
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	_, span := c.cfg.Tracer.StartFrom(r.Context(), obs.Extract(r.Header), "fabric.heartbeat", obs.KindServer)
 	var hb Heartbeat
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&hb); err != nil {
 		http.Error(w, fmt.Sprintf("bad heartbeat: %v", err), http.StatusBadRequest)
+		span.End(err)
 		return
 	}
 	if err := checkProtoVersion(hb.Version); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		span.End(err)
 		return
 	}
 	if hb.ID == "" || hb.Addr == "" {
 		http.Error(w, "heartbeat requires id and addr", http.StatusBadRequest)
+		span.End(fmt.Errorf("heartbeat missing id/addr"))
 		return
 	}
 	c.admit(hb.ID, hb.Addr, hb.QueueDepth)
 	c.absorbRecent(hb.ID, hb.RecentKeys)
 	c.reap()
+	// Federation rides the heartbeat cadence: each beat may trigger one
+	// asynchronous scrape of the worker's /metrics, rate-limited per
+	// node so heartbeat retry bursts don't multiply scrapes.
+	now := c.now()
+	if c.fed.Due(hb.ID, now, c.cfg.ScrapeInterval) {
+		metricsURL := hb.Addr + "/metrics"
+		go func() {
+			if err := c.fed.Scrape(hb.ID, metricsURL, now); err != nil {
+				c.cfg.Logf("fabric: federation scrape of %s failed: %v", hb.ID, err)
+			}
+		}()
+	}
 	newKeys, seq := c.store.since(hb.Seq)
+	span.SetAttr("worker", hb.ID)
+	span.End(nil)
 	writeProtoJSON(w, HeartbeatResponse{Version: ProtocolVersion, StoreSeq: seq, NewKeys: newKeys})
+}
+
+// peerLiveness returns id->alive for every registered member.
+func (c *Coordinator) peerLiveness() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.members))
+	for id, m := range c.members {
+		out[id] = m.alive
+	}
+	return out
+}
+
+// HandleClusterMetrics serves GET /metrics/cluster: every fresh node's
+// scraped series re-labeled with node="<id>", aggregates across fresh
+// nodes, and staleness markers for suspect or silent peers. Mount it
+// next to /metrics on a coordinator node.
+func (c *Coordinator) HandleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.fed.WriteCluster(w, c.peerLiveness(), c.now(), c.cfg.HeartbeatTimeout)
 }
 
 func writeProtoJSON(w http.ResponseWriter, v any) {
@@ -195,7 +283,7 @@ func (c *Coordinator) admit(id, addr string, depth int) {
 	if !ok {
 		m = &member{id: id}
 		c.members[id] = m
-		c.registered++
+		c.registeredTot.Inc()
 	}
 	if !m.alive {
 		c.ring.Add(id)
@@ -209,6 +297,22 @@ func (c *Coordinator) admit(id, addr string, depth int) {
 	m.depth = depth
 	m.alive = true
 	m.lastSeen = c.now()
+	c.updatePeerGauges()
+}
+
+// updatePeerGauges refreshes the alive/dead membership gauges. Callers
+// hold mu.
+func (c *Coordinator) updatePeerGauges() {
+	alive, dead := 0, 0
+	for _, m := range c.members {
+		if m.alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	c.peersGauge.With("alive").Set(float64(alive))
+	c.peersGauge.With("dead").Set(float64(dead))
 }
 
 // absorbRecent updates dispatch affinity from gossiped recently
@@ -251,11 +355,12 @@ func (c *Coordinator) reap() {
 		if m.alive && now.Sub(m.lastSeen) > c.cfg.HeartbeatTimeout {
 			m.alive = false
 			c.ring.Remove(id)
-			c.reaped++
+			c.reapedTotal.Inc()
 			c.cfg.Logf("fabric: worker %s missed heartbeats for %s, reaped (%d live)",
 				id, now.Sub(m.lastSeen).Round(time.Millisecond), c.ring.Len())
 		}
 	}
+	c.updatePeerGauges()
 }
 
 // suspect marks a worker dead after a failed dispatch, without waiting
@@ -268,6 +373,7 @@ func (c *Coordinator) suspect(id string, err error) {
 		c.ring.Remove(id)
 		c.cfg.Logf("fabric: worker %s unreachable (%v), re-dispatching (%d live)", id, err, c.ring.Len())
 	}
+	c.updatePeerGauges()
 }
 
 // dispatchTarget is one placement choice, labelled with why it was
@@ -350,33 +456,53 @@ func moveToFront(ts []dispatchTarget, id, kind string) []dispatchTarget {
 // handled=false is always safe: the engine falls back to local
 // execution, which produces identical bytes by the determinism
 // contract.
+//
+// Placement decisions land on the dispatch span as events — plan order,
+// steals, re-dispatches, suspects — and a successful response's
+// backhauled worker spans are adopted into the coordinator tracer, so
+// one /debug/traces lookup shows the whole cross-node journey.
 func (c *Coordinator) Exec(ctx context.Context, key string) (json.RawMessage, bool, error) {
 	plan := c.plan(key)
 	if len(plan) == 0 {
-		c.bump(&c.localFallback)
+		c.localFallback.Inc()
 		return nil, false, nil
+	}
+	ctx, span := obs.Start(ctx, "fabric.dispatch", obs.KindClient)
+	span.SetAttr("key", key)
+	for _, t := range plan {
+		span.Event("plan", "worker", t.id, "kind", t.kind)
 	}
 	start := c.now()
 	for i, t := range plan {
 		if i > 0 {
-			c.bump(&c.redispatched)
+			c.redispatched.Inc()
+			span.Event("redispatch", "worker", t.id)
 		}
-		raw, retryable, err := c.execOn(ctx, t.addr, key)
+		raw, spans, retryable, err := c.execOn(ctx, t.addr, key)
 		if err == nil {
 			c.finishDispatch(t, key, start)
+			span.SetAttr("worker", t.id)
+			span.SetAttr("kind", t.kind)
+			span.End(nil)
+			c.cfg.Tracer.Adopt(spans)
 			return raw, true, nil
 		}
 		if !retryable {
-			c.bump(&c.localFallback)
+			c.localFallback.Inc()
+			span.Event("rejected", "worker", t.id)
+			span.End(nil)
 			return nil, false, nil
 		}
 		c.suspect(t.id, err)
+		span.Event("suspect", "worker", t.id)
 		if ctx.Err() != nil {
 			// The batch is being cancelled; let the engine see it locally.
+			span.End(nil)
 			return nil, false, nil
 		}
 	}
-	c.bump(&c.dispatchFailed)
+	c.dispatchFailed.Inc()
+	span.End(fmt.Errorf("fabric: every candidate failed for %s", key))
 	return nil, false, nil
 }
 
@@ -384,59 +510,52 @@ func (c *Coordinator) Exec(ctx context.Context, key string) (json.RawMessage, bo
 // worker is broken, try another" (transport error, 5xx) from "this job
 // is broken everywhere" (4xx: version skew, unknown or failing key),
 // which must not burn through the whole ring.
-func (c *Coordinator) execOn(ctx context.Context, addr, key string) (raw json.RawMessage, retryable bool, err error) {
+func (c *Coordinator) execOn(ctx context.Context, addr, key string) (raw json.RawMessage, spans []obs.SpanData, retryable bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.ExecTimeout)
 	defer cancel()
 	body, _ := json.Marshal(ExecRequest{Version: ProtocolVersion, Key: key})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/fabric/v1/exec", bytes.NewReader(body))
 	if err != nil {
-		return nil, true, err
+		return nil, nil, true, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
-		return nil, true, err
+		return nil, nil, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		err := fmt.Errorf("fabric: exec %s on %s: HTTP %d: %s", key, addr, resp.StatusCode, bytes.TrimSpace(msg))
-		return nil, resp.StatusCode >= 500, err
+		return nil, nil, resp.StatusCode >= 500, err
 	}
 	var er ExecResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&er); err != nil {
-		return nil, true, fmt.Errorf("fabric: exec %s on %s: %v", key, addr, err)
+		return nil, nil, true, fmt.Errorf("fabric: exec %s on %s: %v", key, addr, err)
 	}
 	if err := checkProtoVersion(er.Version); err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	if er.Key != key || len(er.Result) == 0 || !json.Valid(er.Result) {
-		return nil, true, fmt.Errorf("fabric: exec %s on %s: malformed response", key, addr)
+		return nil, nil, true, fmt.Errorf("fabric: exec %s on %s: malformed response", key, addr)
 	}
-	return er.Result, false, nil
+	return er.Result, er.Spans, false, nil
 }
 
 // finishDispatch records a successful dispatch: counters by kind, the
 // new affinity, and the end-to-end latency.
 func (c *Coordinator) finishDispatch(t dispatchTarget, key string, start time.Time) {
 	elapsed := c.now().Sub(start)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	switch t.kind {
-	case "affinity":
-		c.dispatchAffinity++
-	case "stolen":
-		c.dispatchStolen++
+	case "affinity", "stolen":
+		c.dispatches.With(t.kind).Inc()
 	default:
-		c.dispatchOwner++
+		c.dispatches.With("owner").Inc()
 	}
-	c.noteAffinity(key, t.id)
 	c.execMS.Observe(int(elapsed.Milliseconds()))
-}
-
-func (c *Coordinator) bump(u *uint64) {
 	c.mu.Lock()
-	*u++
+	c.noteAffinity(key, t.id)
 	c.mu.Unlock()
 }
 
@@ -465,7 +584,8 @@ func (c *Coordinator) Peers() []PeerStatus {
 	return out
 }
 
-// Health returns the coordinator's /healthz contribution.
+// Health returns the coordinator's /healthz contribution, including the
+// federation roll-up (node freshness and scraped-series counts).
 func (c *Coordinator) Health() map[string]any {
 	peers := c.Peers()
 	alive := 0
@@ -474,42 +594,21 @@ func (c *Coordinator) Health() map[string]any {
 			alive++
 		}
 	}
-	return map[string]any{
+	h := map[string]any{
 		"fabric_role":        "coordinator",
 		"fabric_peers":       peers,
 		"fabric_peers_alive": alive,
 		"fabric_store_keys":  c.store.seq(),
 	}
+	for k, v := range c.fed.Summary(c.peerLiveness(), c.now(), c.cfg.HeartbeatTimeout) {
+		h[k] = v
+	}
+	return h
 }
 
 // WriteMetrics renders the coordinator's counters (dispatch outcomes,
 // liveness, latency) plus its store server's, in exposition format.
-func (c *Coordinator) WriteMetrics(w io.Writer) {
-	peers := c.Peers()
-	alive, dead := 0, 0
-	for _, p := range peers {
-		if p.Alive {
-			alive++
-		} else {
-			dead++
-		}
-	}
-	c.mu.Lock()
-	fmt.Fprintf(w, "smtserved_fabric_peers{state=\"alive\"} %d\n", alive)
-	fmt.Fprintf(w, "smtserved_fabric_peers{state=\"dead\"} %d\n", dead)
-	fmt.Fprintf(w, "smtserved_fabric_dispatch_total{kind=\"owner\"} %d\n", c.dispatchOwner)
-	fmt.Fprintf(w, "smtserved_fabric_dispatch_total{kind=\"stolen\"} %d\n", c.dispatchStolen)
-	fmt.Fprintf(w, "smtserved_fabric_dispatch_total{kind=\"affinity\"} %d\n", c.dispatchAffinity)
-	fmt.Fprintf(w, "smtserved_fabric_redispatch_total %d\n", c.redispatched)
-	fmt.Fprintf(w, "smtserved_fabric_dispatch_failed_total %d\n", c.dispatchFailed)
-	fmt.Fprintf(w, "smtserved_fabric_local_fallback_total %d\n", c.localFallback)
-	fmt.Fprintf(w, "smtserved_fabric_workers_reaped_total %d\n", c.reaped)
-	fmt.Fprintf(w, "smtserved_fabric_workers_registered_total %d\n", c.registered)
-	hist := c.execMS
-	c.mu.Unlock()
-	writeHist(w, "smtserved_fabric_exec_ms", &hist)
-	c.storeSrv.WriteMetrics(w)
-}
+func (c *Coordinator) WriteMetrics(w io.Writer) { c.reg.Write(w) }
 
 // storeLog wraps the backing store with an append-only log of stored
 // keys, the source of heartbeat gossip. Every write path — worker
@@ -534,14 +633,16 @@ func newStoreLog(backend sweep.Backend) *storeLog {
 }
 
 // Get implements sweep.Backend.
-func (l *storeLog) Get(key string) (json.RawMessage, bool) { return l.backend.Get(key) }
+func (l *storeLog) Get(ctx context.Context, key string) (json.RawMessage, bool) {
+	return l.backend.Get(ctx, key)
+}
 
 // Put implements sweep.Backend, recording the key in the gossip log on
 // success. Duplicate puts of a key (several nodes computing it
 // concurrently) log once per burst: the log tail is checked, which
 // suffices to keep steady-state re-logging out.
-func (l *storeLog) Put(key string, raw json.RawMessage) error {
-	if err := l.backend.Put(key, raw); err != nil {
+func (l *storeLog) Put(ctx context.Context, key string, raw json.RawMessage) error {
+	if err := l.backend.Put(ctx, key, raw); err != nil {
 		return err
 	}
 	l.mu.Lock()

@@ -79,7 +79,7 @@ func TestFabricRedispatchAfterMissedHeartbeats(t *testing.T) {
 	c.reap()
 
 	c.mu.Lock()
-	reaped, inRing := c.reaped, c.ring.Has("dead")
+	reaped, inRing := c.reapedTotal.Value(), c.ring.Has("dead")
 	c.mu.Unlock()
 	if reaped != 1 || inRing {
 		t.Fatalf("after missed heartbeats: reaped=%d inRing=%v, want 1 and false", reaped, inRing)
@@ -122,7 +122,7 @@ func TestFabricRedispatchOnConnectionFailure(t *testing.T) {
 		t.Fatalf("Exec = %s, %v, %v", raw, handled, err)
 	}
 	c.mu.Lock()
-	redispatched, deadAlive := c.redispatched, c.members["dead"].alive
+	redispatched, deadAlive := c.redispatched.Value(), c.members["dead"].alive
 	c.mu.Unlock()
 	if redispatched != 1 {
 		t.Fatalf("redispatched = %d, want 1", redispatched)
@@ -142,8 +142,8 @@ func TestFabricExecDeclinesWithNoWorkers(t *testing.T) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.localFallback != 1 {
-		t.Fatalf("localFallback = %d, want 1", c.localFallback)
+	if c.localFallback.Value() != 1 {
+		t.Fatalf("localFallback = %d, want 1", c.localFallback.Value())
 	}
 }
 
@@ -241,10 +241,10 @@ func TestFabricHeartbeatGossip(t *testing.T) {
 
 	// Results stored through the coordinator's backend appear in the
 	// next heartbeat's gossip.
-	if err := c.Backend().Put("key-a", json.RawMessage(`1`)); err != nil {
+	if err := c.Backend().Put(context.Background(), "key-a", json.RawMessage(`1`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backend().Put("key-b", json.RawMessage(`2`)); err != nil {
+	if err := c.Backend().Put(context.Background(), "key-b", json.RawMessage(`2`)); err != nil {
 		t.Fatal(err)
 	}
 	var hb1 HeartbeatResponse
@@ -274,7 +274,7 @@ func TestFabricHeartbeatGossip(t *testing.T) {
 func TestFabricStoreLogWindow(t *testing.T) {
 	l := newStoreLog(NewMemStore())
 	for i := 0; i < storeLogCap+10; i++ {
-		if err := l.Put(fmt.Sprintf("k%d", i), json.RawMessage(`0`)); err != nil {
+		if err := l.Put(context.Background(), fmt.Sprintf("k%d", i), json.RawMessage(`0`)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -290,7 +290,7 @@ func TestFabricStoreLogWindow(t *testing.T) {
 		t.Fatalf("window ends at %s", keys[len(keys)-1])
 	}
 	// A caught-up reader sees exactly the new keys.
-	if err := l.Put("fresh", json.RawMessage(`1`)); err != nil {
+	if err := l.Put(context.Background(), "fresh", json.RawMessage(`1`)); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ = l.since(seq)
@@ -298,7 +298,7 @@ func TestFabricStoreLogWindow(t *testing.T) {
 		t.Fatalf("incremental since = %v", keys)
 	}
 	// Consecutive duplicate puts log once.
-	if err := l.Put("fresh", json.RawMessage(`1`)); err != nil {
+	if err := l.Put(context.Background(), "fresh", json.RawMessage(`1`)); err != nil {
 		t.Fatal(err)
 	}
 	if keys, _ := l.since(seq); len(keys) != 1 {

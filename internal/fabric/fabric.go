@@ -35,10 +35,8 @@ package fabric
 import (
 	"encoding/json"
 	"fmt"
-	"io"
-	"strconv"
 
-	"smthill/internal/telemetry"
+	"smthill/internal/obs"
 )
 
 // ProtocolVersion stamps every fabric wire message. A node receiving a
@@ -104,26 +102,15 @@ type ExecRequest struct {
 // engine's stored JSON for the key, verbatim — the coordinator adopts
 // it without re-encoding so distributed results stay byte-identical to
 // local ones. QueueDepth lets every exec round-trip refresh the
-// coordinator's load view between heartbeats.
+// coordinator's load view between heartbeats. Spans backhauls the
+// worker-side trace spans of this execution (server span, engine
+// compute, learning epochs, store round-trips) when the request
+// carried a sampled traceparent; the coordinator adopts them so its
+// /debug/traces shows the whole cross-node trace.
 type ExecResponse struct {
 	Version    int             `json:"version"`
 	Key        string          `json:"key"`
 	Result     json.RawMessage `json:"result"`
 	QueueDepth int             `json:"queue_depth"`
-}
-
-// writeHist renders one telemetry.Hist as Prometheus-style cumulative
-// buckets (same layout as internal/serve's HTTP latency series).
-func writeHist(w io.Writer, name string, h *telemetry.Hist) {
-	var cum uint64
-	for i := 0; i < telemetry.HistBuckets; i++ {
-		cum += h.Buckets[i]
-		le := "+Inf"
-		if i < telemetry.HistBuckets-1 {
-			le = strconv.Itoa(telemetry.BucketLo(i+1) - 1)
-		}
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
-	}
-	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	Spans      []obs.SpanData  `json:"spans,omitempty"`
 }

@@ -154,10 +154,10 @@ func TestFabricClusterByteIdentical(t *testing.T) {
 	// The fabric must actually have carried the work: every job the
 	// engine saw was dispatched (owner, stolen, or affinity), none failed
 	// through to local fallback.
-	coord.mu.Lock()
-	dispatched := coord.dispatchOwner + coord.dispatchStolen + coord.dispatchAffinity
-	failed, fellBack := coord.dispatchFailed, coord.localFallback
-	coord.mu.Unlock()
+	dispatched := coord.dispatches.With("owner").Value() +
+		coord.dispatches.With("stolen").Value() +
+		coord.dispatches.With("affinity").Value()
+	failed, fellBack := coord.dispatchFailed.Value(), coord.localFallback.Value()
 	if dispatched == 0 {
 		t.Error("no jobs were dispatched; the fabric sat idle")
 	}

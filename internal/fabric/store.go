@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"smthill/internal/obs"
 	"smthill/internal/sweep"
 )
 
@@ -31,7 +33,7 @@ type MemStore struct {
 func NewMemStore() *MemStore { return &MemStore{m: map[string]json.RawMessage{}} }
 
 // Get implements sweep.Backend.
-func (s *MemStore) Get(key string) (json.RawMessage, bool) {
+func (s *MemStore) Get(_ context.Context, key string) (json.RawMessage, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	raw, ok := s.m[key]
@@ -42,7 +44,7 @@ func (s *MemStore) Get(key string) (json.RawMessage, bool) {
 }
 
 // Put implements sweep.Backend.
-func (s *MemStore) Put(key string, raw json.RawMessage) error {
+func (s *MemStore) Put(_ context.Context, key string, raw json.RawMessage) error {
 	cp := append(json.RawMessage(nil), raw...)
 	s.mu.Lock()
 	s.m[key] = cp
@@ -89,61 +91,92 @@ func etagMatches(header, etag string) bool {
 // revalidation costs a header exchange, not a body transfer.
 type StoreServer struct {
 	backend sweep.Backend
+	tracer  *obs.Tracer
 
-	mu            sync.Mutex
-	getHits       uint64
-	getMisses     uint64
-	notModified   uint64
-	puts          uint64
-	putErrors     uint64
-	badRequests   uint64
-	bytesServed   uint64
-	bytesReceived uint64
+	reg      *obs.Registry
+	requests *obs.CounterVec // op, outcome
+	bytes    *obs.CounterVec // dir
 }
 
 // NewStoreServer serves backend. The Coordinator wraps its backend so
 // PUTs land in the gossip log; standalone use works with any Backend.
 func NewStoreServer(backend sweep.Backend) *StoreServer {
-	return &StoreServer{backend: backend}
+	reg := obs.NewRegistry()
+	s := &StoreServer{
+		backend: backend,
+		reg:     reg,
+		requests: reg.CounterVec("smtserved_fabric_store_requests_total",
+			"store requests by op and outcome", "op", "outcome"),
+		bytes: reg.CounterVec("smtserved_fabric_store_bytes_total",
+			"result bytes moved by direction", "dir"),
+	}
+	// Materialize every series up front so a scrape shows the full
+	// outcome vocabulary at zero.
+	for _, pair := range [][2]string{
+		{"get", "hit"}, {"get", "miss"}, {"get", "not_modified"},
+		{"put", "stored"}, {"put", "error"}, {"any", "bad_request"},
+	} {
+		s.requests.With(pair[0], pair[1])
+	}
+	s.bytes.With("served")
+	s.bytes.With("received")
+	return s
 }
+
+// SetTracer enables server-side spans on store requests.
+func (s *StoreServer) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Registry returns the server's metric registry, for attachment into a
+// node-wide one.
+func (s *StoreServer) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *StoreServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
-		s.count(&s.badRequests)
+		s.requests.With("any", "bad_request").Inc()
 		http.Error(w, "missing key parameter", http.StatusBadRequest)
 		return
 	}
+	ctx, span := s.tracer.StartRemote(r.Context(), obs.Extract(r.Header),
+		"store."+strings.ToLower(r.Method), obs.KindServer)
+	span.SetAttr("key", key)
+	r = r.WithContext(ctx)
 	switch r.Method {
 	case http.MethodGet, http.MethodHead:
-		s.handleGet(w, r, key)
+		s.handleGet(w, r, key, span)
 	case http.MethodPut:
-		s.handlePut(w, r, key)
+		s.handlePut(w, r, key, span)
 	default:
 		w.Header().Set("Allow", "GET, HEAD, PUT")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		span.End(fmt.Errorf("method %s not allowed", r.Method))
+		return
 	}
 }
 
-func (s *StoreServer) handleGet(w http.ResponseWriter, r *http.Request, key string) {
-	raw, ok := s.backend.Get(key)
+func (s *StoreServer) handleGet(w http.ResponseWriter, r *http.Request, key string, span *obs.Span) {
+	raw, ok := s.backend.Get(r.Context(), key)
 	if !ok {
-		s.count(&s.getMisses)
+		s.requests.With("get", "miss").Inc()
+		span.SetAttr("outcome", "miss")
+		span.End(nil)
 		http.Error(w, "no result for key", http.StatusNotFound)
 		return
 	}
 	etag := etagFor(raw)
 	w.Header().Set("ETag", etag)
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
-		s.count(&s.notModified)
+		s.requests.With("get", "not_modified").Inc()
+		span.SetAttr("outcome", "not_modified")
+		span.End(nil)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	s.mu.Lock()
-	s.getHits++
-	s.bytesServed += uint64(len(raw))
-	s.mu.Unlock()
+	s.requests.With("get", "hit").Inc()
+	s.bytes.With("served").Add(uint64(len(raw)))
+	span.SetAttr("outcome", "hit")
+	span.End(nil)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if r.Method != http.MethodHead {
@@ -151,47 +184,32 @@ func (s *StoreServer) handleGet(w http.ResponseWriter, r *http.Request, key stri
 	}
 }
 
-func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request, key string) {
+func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request, key string, span *obs.Span) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBytes))
 	if err != nil {
-		s.count(&s.badRequests)
+		s.requests.With("any", "bad_request").Inc()
+		span.End(err)
 		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
 		return
 	}
 	if !json.Valid(raw) {
-		s.count(&s.badRequests)
+		s.requests.With("any", "bad_request").Inc()
+		span.End(fmt.Errorf("body is not valid JSON"))
 		http.Error(w, "body is not valid JSON", http.StatusBadRequest)
 		return
 	}
-	if err := s.backend.Put(key, raw); err != nil {
-		s.count(&s.putErrors)
+	if err := s.backend.Put(r.Context(), key, raw); err != nil {
+		s.requests.With("put", "error").Inc()
+		span.End(err)
 		http.Error(w, fmt.Sprintf("store: %v", err), http.StatusInternalServerError)
 		return
 	}
-	s.mu.Lock()
-	s.puts++
-	s.bytesReceived += uint64(len(raw))
-	s.mu.Unlock()
+	s.requests.With("put", "stored").Inc()
+	s.bytes.With("received").Add(uint64(len(raw)))
+	span.End(nil)
 	w.Header().Set("ETag", etagFor(raw))
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *StoreServer) count(c *uint64) {
-	s.mu.Lock()
-	*c++
-	s.mu.Unlock()
-}
-
 // WriteMetrics renders the server's counters in exposition format.
-func (s *StoreServer) WriteMetrics(w io.Writer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"get\",outcome=\"hit\"} %d\n", s.getHits)
-	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"get\",outcome=\"miss\"} %d\n", s.getMisses)
-	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"get\",outcome=\"not_modified\"} %d\n", s.notModified)
-	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"put\",outcome=\"stored\"} %d\n", s.puts)
-	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"put\",outcome=\"error\"} %d\n", s.putErrors)
-	fmt.Fprintf(w, "smtserved_fabric_store_requests_total{op=\"any\",outcome=\"bad_request\"} %d\n", s.badRequests)
-	fmt.Fprintf(w, "smtserved_fabric_store_bytes_total{dir=\"served\"} %d\n", s.bytesServed)
-	fmt.Fprintf(w, "smtserved_fabric_store_bytes_total{dir=\"received\"} %d\n", s.bytesReceived)
-}
+func (s *StoreServer) WriteMetrics(w io.Writer) { s.reg.Write(w) }

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -122,27 +123,27 @@ func TestStoreClientReadThrough(t *testing.T) {
 	c := NewStoreClient(srv.URL, local, nil)
 
 	key := "v1|solo|app=art|cycles=1024"
-	if _, ok := c.Get(key); ok {
+	if _, ok := c.Get(context.Background(), key); ok {
 		t.Fatal("Get on empty store succeeded")
 	}
 
 	want := json.RawMessage(`{"v":1}`)
-	if err := remote.Put(key, want); err != nil {
+	if err := remote.Put(context.Background(), key, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Get(key)
+	got, ok := c.Get(context.Background(), key)
 	if !ok || !bytes.Equal(got, want) {
 		t.Fatalf("Get after remote put = %q, %v", got, ok)
 	}
 	// The remote hit was written back locally: a second Get must not
 	// need the network.
 	srv.Close()
-	got, ok = c.Get(key)
+	got, ok = c.Get(context.Background(), key)
 	if !ok || !bytes.Equal(got, want) {
 		t.Fatalf("Get after server death = %q, %v; want local copy", got, ok)
 	}
 	c.mu.Lock()
-	localHits, remoteHits := c.localHits, c.remoteHits
+	localHits, remoteHits := c.outcomes.With("local_hit").Value(), c.outcomes.With("remote_hit").Value()
 	c.mu.Unlock()
 	if localHits != 1 || remoteHits != 1 {
 		t.Fatalf("hit counters local=%d remote=%d, want 1 and 1", localHits, remoteHits)
@@ -157,13 +158,13 @@ func TestStoreClientPutWritesThrough(t *testing.T) {
 	c := NewStoreClient(srv.URL, local, nil)
 
 	key, raw := "k1", json.RawMessage(`[1,2,3]`)
-	if err := c.Put(key, raw); err != nil {
+	if err := c.Put(context.Background(), key, raw); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := remote.Get(key); !ok || !bytes.Equal(got, raw) {
+	if got, ok := remote.Get(context.Background(), key); !ok || !bytes.Equal(got, raw) {
 		t.Fatalf("remote after Put = %q, %v", got, ok)
 	}
-	if got, ok := local.Get(key); !ok || !bytes.Equal(got, raw) {
+	if got, ok := local.Get(context.Background(), key); !ok || !bytes.Equal(got, raw) {
 		t.Fatalf("local after Put = %q, %v", got, ok)
 	}
 }
@@ -172,10 +173,10 @@ func TestStoreClientOfflineDegradesToLocal(t *testing.T) {
 	local := NewMemStore()
 	c := NewStoreClient("http://127.0.0.1:1", local, nil) // nothing listens
 	key, raw := "k", json.RawMessage(`true`)
-	if err := c.Put(key, raw); err == nil {
+	if err := c.Put(context.Background(), key, raw); err == nil {
 		t.Fatal("Put against a dead store reported success")
 	}
-	if got, ok := c.Get(key); !ok || !bytes.Equal(got, raw) {
+	if got, ok := c.Get(context.Background(), key); !ok || !bytes.Equal(got, raw) {
 		t.Fatalf("local Get after offline Put = %q, %v", got, ok)
 	}
 }
@@ -188,23 +189,23 @@ func TestStoreClientMarkKnownRevalidates(t *testing.T) {
 	c := NewStoreClient(srv.URL, local, nil)
 
 	same := json.RawMessage(`{"x":1}`)
-	if err := remote.Put("same", same); err != nil {
+	if err := remote.Put(context.Background(), "same", same); err != nil {
 		t.Fatal(err)
 	}
-	if err := local.Put("same", same); err != nil {
+	if err := local.Put(context.Background(), "same", same); err != nil {
 		t.Fatal(err)
 	}
 	drifted := json.RawMessage(`{"x":2}`)
-	if err := remote.Put("drift", drifted); err != nil {
+	if err := remote.Put(context.Background(), "drift", drifted); err != nil {
 		t.Fatal(err)
 	}
-	if err := local.Put("drift", json.RawMessage(`{"x":1}`)); err != nil {
+	if err := local.Put(context.Background(), "drift", json.RawMessage(`{"x":1}`)); err != nil {
 		t.Fatal(err)
 	}
 
 	c.MarkKnown([]string{"same", "drift", "absent"})
 	c.mu.Lock()
-	revalidated, refreshed := c.revalidated, c.refreshed
+	revalidated, refreshed := c.outcomes.With("revalidated").Value(), c.outcomes.With("refreshed").Value()
 	c.mu.Unlock()
 	if revalidated != 1 {
 		t.Errorf("revalidated = %d, want 1 (matching copy costs only headers)", revalidated)
@@ -212,10 +213,10 @@ func TestStoreClientMarkKnownRevalidates(t *testing.T) {
 	if refreshed != 1 {
 		t.Errorf("refreshed = %d, want 1 (drifted copy adopts store bytes)", refreshed)
 	}
-	if got, _ := local.Get("drift"); !bytes.Equal(got, drifted) {
+	if got, _ := local.Get(context.Background(), "drift"); !bytes.Equal(got, drifted) {
 		t.Errorf("local drift copy = %q, want store's %q", got, drifted)
 	}
-	if got, ok := local.Get("absent"); ok {
+	if got, ok := local.Get(context.Background(), "absent"); ok {
 		t.Errorf("MarkKnown prefetched %q; gossip should stay lazy", got)
 	}
 	if c.KnownKeys() != 3 {
@@ -224,8 +225,8 @@ func TestStoreClientMarkKnownRevalidates(t *testing.T) {
 	// Re-gossip of known keys is a no-op (no second revalidation).
 	c.MarkKnown([]string{"same"})
 	c.mu.Lock()
-	if c.revalidated != revalidated {
-		t.Errorf("re-gossip revalidated again (%d)", c.revalidated)
+	if c.outcomes.With("revalidated").Value() != revalidated {
+		t.Errorf("re-gossip revalidated again (%d)", c.outcomes.With("revalidated").Value())
 	}
 	c.mu.Unlock()
 }

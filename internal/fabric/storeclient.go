@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/url"
 	"sync"
 
+	"smthill/internal/obs"
 	"smthill/internal/sweep"
 )
 
@@ -22,21 +24,20 @@ import (
 // The remote side is strictly best-effort: an unreachable store makes
 // Get a local-only lookup and Put a local-only write. Nothing blocks on
 // the network holding a lock, and no store failure can fail a job.
+//
+// Requests propagate the caller's trace context as a traceparent
+// header, so store round-trips show up as client spans inside the
+// job's distributed trace.
 type StoreClient struct {
 	base  string // store endpoint, e.g. "http://coord:8080/fabric/v1/store"
 	local sweep.Backend
 	hc    *http.Client
 
-	mu          sync.Mutex
-	known       map[string]bool // keys gossip says the store holds
-	localHits   uint64
-	remoteHits  uint64
-	misses      uint64
-	puts        uint64
-	putErrors   uint64
-	revalidated uint64
-	refreshed   uint64
-	netErrors   uint64
+	mu    sync.Mutex
+	known map[string]bool // keys gossip says the store holds
+
+	reg      *obs.Registry
+	outcomes *obs.CounterVec // outcome
 }
 
 // NewStoreClient builds a client for the store mounted under baseURL
@@ -48,13 +49,31 @@ func NewStoreClient(baseURL string, local sweep.Backend, hc *http.Client) *Store
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &StoreClient{
+	reg := obs.NewRegistry()
+	c := &StoreClient{
 		base:  baseURL + "/fabric/v1/store",
 		local: local,
 		hc:    hc,
 		known: map[string]bool{},
+		reg:   reg,
+		outcomes: reg.CounterVec("smtserved_fabric_store_client_total",
+			"store client operations by outcome", "outcome"),
 	}
+	for _, o := range []string{
+		"local_hit", "remote_hit", "miss", "put", "put_error",
+		"revalidated", "refreshed", "net_error",
+	} {
+		c.outcomes.With(o)
+	}
+	reg.GaugeFunc("smtserved_fabric_store_known_keys",
+		"distinct keys gossip or local puts say the store holds",
+		func() float64 { return float64(c.KnownKeys()) })
+	return c
 }
+
+// Registry returns the client's metric registry, for attachment into a
+// node-wide one.
+func (c *StoreClient) Registry() *obs.Registry { return c.reg }
 
 func (c *StoreClient) keyURL(key string) string {
 	return c.base + "?key=" + url.QueryEscape(key)
@@ -62,20 +81,20 @@ func (c *StoreClient) keyURL(key string) string {
 
 // Get implements sweep.Backend: local cache first, then the store; a
 // store hit is written back locally so the next lookup is free.
-func (c *StoreClient) Get(key string) (json.RawMessage, bool) {
+func (c *StoreClient) Get(ctx context.Context, key string) (json.RawMessage, bool) {
 	if c.local != nil {
-		if raw, ok := c.local.Get(key); ok {
-			c.count(&c.localHits)
+		if raw, ok := c.local.Get(ctx, key); ok {
+			c.outcomes.With("local_hit").Inc()
 			return raw, true
 		}
 	}
-	raw, ok := c.fetch(key, "")
+	raw, ok := c.fetch(ctx, key, "")
 	if !ok {
 		return nil, false
 	}
-	c.count(&c.remoteHits)
+	c.outcomes.With("remote_hit").Inc()
 	if c.local != nil {
-		_ = c.local.Put(key, raw)
+		_ = c.local.Put(ctx, key, raw)
 	}
 	return raw, true
 }
@@ -83,18 +102,27 @@ func (c *StoreClient) Get(key string) (json.RawMessage, bool) {
 // fetch GETs one key, optionally conditionally. ok=false covers miss
 // and network failure alike (each counted); a 304 returns ok=false with
 // notModified=true.
-func (c *StoreClient) fetch(key, ifNoneMatch string) (raw json.RawMessage, ok bool) {
-	req, err := http.NewRequest(http.MethodGet, c.keyURL(key), nil)
+func (c *StoreClient) fetch(ctx context.Context, key, ifNoneMatch string) (raw json.RawMessage, ok bool) {
+	ctx, span := obs.Start(ctx, "store.get", obs.KindClient)
+	span.SetAttr("key", key)
+	outcome := func(o string, err error) {
+		span.SetAttr("outcome", o)
+		span.End(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(key), nil)
 	if err != nil {
-		c.count(&c.netErrors)
+		c.outcomes.With("net_error").Inc()
+		outcome("net_error", err)
 		return nil, false
 	}
+	obs.Inject(ctx, req.Header)
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		c.count(&c.netErrors)
+		c.outcomes.With("net_error").Inc()
+		outcome("net_error", err)
 		return nil, false
 	}
 	defer resp.Body.Close()
@@ -102,18 +130,23 @@ func (c *StoreClient) fetch(key, ifNoneMatch string) (raw json.RawMessage, ok bo
 	case http.StatusOK:
 		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
 		if err != nil || !json.Valid(raw) {
-			c.count(&c.netErrors)
+			c.outcomes.With("net_error").Inc()
+			outcome("net_error", fmt.Errorf("fabric: store get %s: bad body", key))
 			return nil, false
 		}
+		outcome("remote_hit", nil)
 		return raw, true
 	case http.StatusNotModified:
-		c.count(&c.revalidated)
+		c.outcomes.With("revalidated").Inc()
+		outcome("revalidated", nil)
 		return nil, false
 	case http.StatusNotFound:
-		c.count(&c.misses)
+		c.outcomes.With("miss").Inc()
+		outcome("miss", nil)
 		return nil, false
 	default:
-		c.count(&c.netErrors)
+		c.outcomes.With("net_error").Inc()
+		outcome("net_error", fmt.Errorf("fabric: store get %s: HTTP %d", key, resp.StatusCode))
 		return nil, false
 	}
 }
@@ -122,28 +155,37 @@ func (c *StoreClient) fetch(key, ifNoneMatch string) (raw json.RawMessage, ok bo
 // remote write is best-effort (the engine treats Put errors as
 // non-fatal, and the gossip log means a missed upload only costs a
 // recompute elsewhere).
-func (c *StoreClient) Put(key string, raw json.RawMessage) error {
+func (c *StoreClient) Put(ctx context.Context, key string, raw json.RawMessage) error {
 	if c.local != nil {
-		_ = c.local.Put(key, raw)
+		_ = c.local.Put(ctx, key, raw)
 	}
-	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(raw))
+	ctx, span := obs.Start(ctx, "store.put", obs.KindClient)
+	span.SetAttr("key", key)
+	err := c.putRemote(ctx, key, raw)
+	span.End(err)
+	return err
+}
+
+func (c *StoreClient) putRemote(ctx context.Context, key string, raw json.RawMessage) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.keyURL(key), bytes.NewReader(raw))
 	if err != nil {
-		c.count(&c.putErrors)
+		c.outcomes.With("put_error").Inc()
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		c.count(&c.putErrors)
+		c.outcomes.With("put_error").Inc()
 		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		c.count(&c.putErrors)
+		c.outcomes.With("put_error").Inc()
 		return fmt.Errorf("fabric: store put %s: HTTP %d", key, resp.StatusCode)
 	}
-	c.count(&c.puts)
+	c.outcomes.With("put").Inc()
 	c.mu.Lock()
 	c.known[key] = true
 	c.mu.Unlock()
@@ -156,6 +198,7 @@ func (c *StoreClient) Put(key string, raw json.RawMessage) error {
 // copy and a match costs only headers. Keys not held locally are just
 // remembered; they fetch lazily if the engine ever asks.
 func (c *StoreClient) MarkKnown(keys []string) {
+	ctx := context.Background()
 	for _, key := range keys {
 		c.mu.Lock()
 		seen := c.known[key]
@@ -164,16 +207,16 @@ func (c *StoreClient) MarkKnown(keys []string) {
 		if seen || c.local == nil {
 			continue
 		}
-		local, ok := c.local.Get(key)
+		local, ok := c.local.Get(ctx, key)
 		if !ok {
 			continue
 		}
-		if raw, ok := c.fetch(key, etagFor(local)); ok {
+		if raw, ok := c.fetch(ctx, key, etagFor(local)); ok {
 			// The store holds different bytes than we do. Determinism
 			// makes this near-impossible for a same-version cluster, but
 			// the store is authoritative: adopt its copy.
-			_ = c.local.Put(key, raw)
-			c.count(&c.refreshed)
+			_ = c.local.Put(ctx, key, raw)
+			c.outcomes.With("refreshed").Inc()
 		}
 	}
 }
@@ -186,25 +229,7 @@ func (c *StoreClient) KnownKeys() int {
 	return len(c.known)
 }
 
-func (c *StoreClient) count(u *uint64) {
-	c.mu.Lock()
-	*u++
-	c.mu.Unlock()
-}
-
 // WriteMetrics renders the client's counters in exposition format. The
 // outcome label says where a result came from, so an operator can read
 // the local/remote hit split per node.
-func (c *StoreClient) WriteMetrics(w io.Writer) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"local_hit\"} %d\n", c.localHits)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"remote_hit\"} %d\n", c.remoteHits)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"miss\"} %d\n", c.misses)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"put\"} %d\n", c.puts)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"put_error\"} %d\n", c.putErrors)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"revalidated\"} %d\n", c.revalidated)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"refreshed\"} %d\n", c.refreshed)
-	fmt.Fprintf(w, "smtserved_fabric_store_client_total{outcome=\"net_error\"} %d\n", c.netErrors)
-	fmt.Fprintf(w, "smtserved_fabric_store_known_keys %d\n", len(c.known))
-}
+func (c *StoreClient) WriteMetrics(w io.Writer) { c.reg.Write(w) }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"smthill/internal/experiment"
+	"smthill/internal/obs"
 	"smthill/internal/simjob"
 	"smthill/internal/sweep"
 )
@@ -37,6 +38,11 @@ type WorkerConfig struct {
 	Client *http.Client
 	// Logf receives operational log lines (nil = discard).
 	Logf func(format string, args ...any)
+	// Tracer, when set, records a server span per exec request (with
+	// engine and epoch child spans beneath it) and backhauls the spans
+	// of sampled cross-node traces in the exec response for the
+	// coordinator to adopt.
+	Tracer *obs.Tracer
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -67,11 +73,9 @@ type Worker struct {
 	inflight atomic.Int64
 	lastSeq  atomic.Uint64
 
-	execServed  atomic.Uint64
-	execErrors  atomic.Uint64
-	execUnknown atomic.Uint64
-	hbOK        atomic.Uint64
-	hbErrors    atomic.Uint64
+	reg     *obs.Registry
+	execVec *obs.CounterVec // outcome
+	hbVec   *obs.CounterVec // outcome
 
 	recentMu sync.Mutex
 	recent   []string
@@ -83,7 +87,26 @@ type Worker struct {
 // may be nil; when set, it should also be the engine's backend so
 // remote results read through it.
 func NewWorker(cfg WorkerConfig, eng *sweep.Engine, store *StoreClient) *Worker {
-	w := &Worker{cfg: cfg.withDefaults(), eng: eng, store: store}
+	reg := obs.NewRegistry()
+	w := &Worker{
+		cfg: cfg.withDefaults(), eng: eng, store: store,
+		reg: reg,
+		execVec: reg.CounterVec("smtserved_fabric_exec_served_total",
+			"exec requests by outcome", "outcome"),
+		hbVec: reg.CounterVec("smtserved_fabric_heartbeats_total",
+			"heartbeat round-trips by outcome", "outcome"),
+	}
+	for _, o := range []string{"ok", "error", "unknown"} {
+		w.execVec.With(o)
+	}
+	w.hbVec.With("ok")
+	w.hbVec.With("error")
+	reg.GaugeFunc("smtserved_fabric_exec_inflight",
+		"exec requests currently executing",
+		func() float64 { return float64(w.inflight.Load()) })
+	if store != nil {
+		reg.Attach(store.Registry())
+	}
 	eng.AddObserver(func(ev sweep.Event) {
 		if ev.Kind == sweep.JobDone && ev.Source == sweep.FromRun {
 			w.noteRecent(ev.Key)
@@ -91,6 +114,14 @@ func NewWorker(cfg WorkerConfig, eng *sweep.Engine, store *StoreClient) *Worker 
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fabric/v1/exec", w.handleExec)
+	// A worker's own exposition endpoint: this is what the coordinator's
+	// federation scrapes (AdvertiseURL + /metrics). On a full smtserved
+	// node the serve mux fronts this handler; standalone harnesses mount
+	// Handler() directly and still federate.
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.reg.Write(rw)
+	})
 	w.handler = mux
 	return w
 }
@@ -127,14 +158,24 @@ func (w *Worker) requeueRecent(keys []string) {
 	w.recentMu.Unlock()
 }
 
-// Handler returns the worker's HTTP surface (exec).
+// Handler returns the worker's HTTP surface (exec, metrics).
 func (w *Worker) Handler() http.Handler { return w.handler }
+
+// Registry returns the worker's metric registry (exec and heartbeat
+// series, plus the store client's when present), for attachment into a
+// node-wide one.
+func (w *Worker) Registry() *obs.Registry { return w.reg }
 
 // handleExec executes one key and returns the engine's stored bytes.
 // Status codes are the dispatch contract: 200 success, 404 unknown key
 // family (coordinator computes locally), 422 the key failed to execute
 // (deterministic — retrying elsewhere would fail identically), 400
 // protocol mismatch.
+//
+// When the request carries a sampled traceparent, the whole execution
+// runs under a server span continuing that trace, and every span this
+// worker recorded for the trace rides back in the response for the
+// coordinator to adopt.
 func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	var req ExecRequest
 	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -151,19 +192,33 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.inflight.Add(1)
 	defer w.inflight.Add(-1)
-	raw, ok, err := w.execKey(r.Context(), req.Key)
+	parent := obs.Extract(r.Header)
+	ctx, span := w.cfg.Tracer.StartRemote(r.Context(), parent, "fabric.exec", obs.KindServer)
+	span.SetAttr("key", req.Key)
+	raw, ok, err := w.execKey(ctx, req.Key)
 	switch {
 	case err != nil:
-		w.execErrors.Add(1)
+		w.execVec.With("error").Inc()
+		span.SetAttr("outcome", "error")
+		span.End(err)
 		http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
 	case !ok:
-		w.execUnknown.Add(1)
+		w.execVec.With("unknown").Inc()
+		span.SetAttr("outcome", "unknown")
+		span.End(fmt.Errorf("unknown key family: %s", req.Key))
 		http.Error(rw, fmt.Sprintf("unknown key family: %s", req.Key), http.StatusNotFound)
 	default:
-		w.execServed.Add(1)
+		w.execVec.With("ok").Inc()
+		span.SetAttr("outcome", "ok")
+		span.End(nil)
+		var spans []obs.SpanData
+		if parent.Valid() && parent.Sampled {
+			spans = w.cfg.Tracer.CollectTrace(parent.Trace)
+		}
 		writeProtoJSON(rw, ExecResponse{
 			Version: ProtocolVersion, Key: req.Key, Result: raw,
 			QueueDepth: int(w.inflight.Load()) - 1, // exclude this request
+			Spans:      spans,
 		})
 	}
 }
@@ -171,7 +226,7 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 // execKey resolves one key: warm engine state first, then the simjob
 // family, then the experiment families.
 func (w *Worker) execKey(ctx context.Context, key string) (json.RawMessage, bool, error) {
-	if raw, _, ok := w.eng.Lookup(key); ok {
+	if raw, _, ok := w.eng.Lookup(ctx, key); ok {
 		return raw, true, nil
 	}
 	spec, ok, err := simjob.SpecFromKey(key)
@@ -182,13 +237,15 @@ func (w *Worker) execKey(ctx context.Context, key string) (json.RawMessage, bool
 		jobs := []sweep.Job[simjob.Result]{{
 			Key: key,
 			Run: func(ctx context.Context) (simjob.Result, error) {
-				return simjob.Run(ctx, spec, nil)
+				// EpochSpans resolves the compute span into per-epoch
+				// slices; with tracing off it returns the nil sink as-is.
+				return simjob.Run(ctx, spec, obs.EpochSpans(ctx, nil))
 			},
 		}}
 		if _, err := sweep.Run(ctx, w.eng, jobs); err != nil {
 			return nil, true, err
 		}
-		raw, _, ok := w.eng.Lookup(key)
+		raw, _, ok := w.eng.Lookup(ctx, key)
 		if !ok {
 			return nil, true, fmt.Errorf("fabric: %s produced no cacheable result", key)
 		}
@@ -260,15 +317,15 @@ func (w *Worker) Heartbeat(ctx context.Context) error {
 	}
 	var resp HeartbeatResponse
 	if err := w.post(ctx, "/fabric/v1/heartbeat", hb, &resp); err != nil {
-		w.hbErrors.Add(1)
+		w.hbVec.With("error").Inc()
 		w.requeueRecent(recent)
 		return err
 	}
 	if err := checkProtoVersion(resp.Version); err != nil {
-		w.hbErrors.Add(1)
+		w.hbVec.With("error").Inc()
 		return err
 	}
-	w.hbOK.Add(1)
+	w.hbVec.With("ok").Inc()
 	w.lastSeq.Store(resp.StoreSeq)
 	if w.store != nil && len(resp.NewKeys) > 0 {
 		w.store.MarkKnown(resp.NewKeys)
@@ -305,7 +362,7 @@ func (w *Worker) Health() map[string]any {
 		"fabric_role":          "worker",
 		"fabric_coordinator":   w.cfg.CoordinatorURL,
 		"fabric_exec_inflight": w.inflight.Load(),
-		"fabric_heartbeats_ok": w.hbOK.Load(),
+		"fabric_heartbeats_ok": w.hbVec.With("ok").Value(),
 	}
 	if w.store != nil {
 		h["fabric_store_known_keys"] = w.store.KnownKeys()
@@ -315,14 +372,4 @@ func (w *Worker) Health() map[string]any {
 
 // WriteMetrics renders the worker's counters (plus its store client's,
 // when present) in exposition format.
-func (w *Worker) WriteMetrics(out io.Writer) {
-	fmt.Fprintf(out, "smtserved_fabric_exec_inflight %d\n", w.inflight.Load())
-	fmt.Fprintf(out, "smtserved_fabric_exec_served_total{outcome=\"ok\"} %d\n", w.execServed.Load())
-	fmt.Fprintf(out, "smtserved_fabric_exec_served_total{outcome=\"error\"} %d\n", w.execErrors.Load())
-	fmt.Fprintf(out, "smtserved_fabric_exec_served_total{outcome=\"unknown\"} %d\n", w.execUnknown.Load())
-	fmt.Fprintf(out, "smtserved_fabric_heartbeats_total{outcome=\"ok\"} %d\n", w.hbOK.Load())
-	fmt.Fprintf(out, "smtserved_fabric_heartbeats_total{outcome=\"error\"} %d\n", w.hbErrors.Load())
-	if w.store != nil {
-		w.store.WriteMetrics(out)
-	}
-}
+func (w *Worker) WriteMetrics(out io.Writer) { w.reg.Write(out) }

@@ -29,6 +29,10 @@
 //     justification — the steady-state zero-allocation contract of the
 //     cycle path, enforced statically alongside the AllocsPerRun
 //     regression test.
+//   - metricname (metricname.go): literal metric names registered on an
+//     obs.Registry must match the Prometheus charset and be unique per
+//     package — registration panics otherwise, but only when the
+//     registering component actually starts.
 //
 // Rules are individually constructable and configurable so tests can
 // point them at fixture packages; DefaultRules returns the project
@@ -85,6 +89,7 @@ func DefaultRules() []Rule {
 		NewRecorderGuardRule(),
 		NewFloatCompareRule(),
 		NewHotAllocRule(),
+		NewMetricNameRule(),
 	}
 }
 

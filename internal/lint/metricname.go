@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// MetricNameRule validates metric registrations statically. The
+// obs.Registry panics at runtime on an invalid Prometheus name or a
+// duplicate registration — but registration happens in constructors, so
+// a bad name in a rarely-built component (a worker-only counter, a flag-
+// gated gauge) survives until that component first starts. This rule
+// moves both failures to lint time: every string-literal name passed to
+// a Registry registration method must match the Prometheus metric
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*, every literal label must match the
+// label charset [a-zA-Z_][a-zA-Z0-9_]*, and no two registrations in the
+// same package may claim the same name (Attach composes per-component
+// registries into one node-wide exposition, where a duplicate family is
+// a runtime panic).
+//
+// Non-literal names (built with fmt.Sprintf or passed through a helper)
+// are outside the rule's reach and stay a runtime concern.
+type MetricNameRule struct {
+	// Packages selects where the rule applies (matchPackage semantics;
+	// empty = everywhere).
+	Packages []string
+	// RegistryTypes lists the registry types whose registration methods
+	// are checked, as "import/path.TypeName".
+	RegistryTypes []string
+}
+
+// NewMetricNameRule returns the rule configured for this repository:
+// registrations on obs.Registry, checked everywhere.
+func NewMetricNameRule() *MetricNameRule {
+	return &MetricNameRule{
+		RegistryTypes: []string{"smthill/internal/obs.Registry"},
+	}
+}
+
+// Name implements Rule.
+func (r *MetricNameRule) Name() string { return "metricname" }
+
+// Doc implements Rule.
+func (r *MetricNameRule) Doc() string {
+	return "metric registrations must use valid Prometheus names/labels and not collide within a package"
+}
+
+// registrationMethods maps each obs.Registry registration method to the
+// index where its label-name arguments start (after name and help);
+// methods without labels use -1.
+var registrationMethods = map[string]int{
+	"Counter":    -1,
+	"Gauge":      -1,
+	"Hist":       -1,
+	"GaugeFunc":  -1,
+	"CounterVec": 2,
+	"GaugeVec":   2,
+	"HistVec":    2,
+}
+
+// Check implements Rule.
+func (r *MetricNameRule) Check(p *Package) []Finding {
+	if !matchPackage(p.Path, r.Packages) {
+		return nil
+	}
+	var out []Finding
+	// seen maps a registered literal name to where it first appeared, for
+	// collision detection across the whole package.
+	seen := map[string]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			labelStart, isReg := registrationMethods[sel.Sel.Name]
+			if !isReg || !r.isRegistry(p, sel.X) || len(call.Args) == 0 {
+				return true
+			}
+			if name, lit := stringLit(call.Args[0]); lit {
+				pos := p.Fset.Position(call.Args[0].Pos())
+				if !validMetricName(name) {
+					out = append(out, Finding{
+						Pos:  pos,
+						Rule: r.Name(),
+						Msg: fmt.Sprintf("metric name %q does not match the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]* (registration would panic)",
+							name),
+					})
+				} else if first, dup := seen[name]; dup {
+					out = append(out, Finding{
+						Pos:  pos,
+						Rule: r.Name(),
+						Msg: fmt.Sprintf("metric name %q collides with the registration at %s (duplicate family panics at Attach/scrape time)",
+							name, first),
+					})
+				} else {
+					seen[name] = fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				}
+			}
+			if labelStart < 0 {
+				return true
+			}
+			for _, arg := range call.Args[labelStart:] {
+				label, lit := stringLit(arg)
+				if !lit || validLabelName(label) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(arg.Pos()),
+					Rule: r.Name(),
+					Msg: fmt.Sprintf("label name %q does not match the Prometheus charset [a-zA-Z_][a-zA-Z0-9_]* (registration would panic)",
+						label),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRegistry reports whether e's type (after stripping one pointer
+// level) is one of the rule's registry types.
+func (r *MetricNameRule) isRegistry(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	for _, want := range r.RegistryTypes {
+		if full == want {
+			return true
+		}
+	}
+	return false
+}
+
+// stringLit unquotes a string-literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// validMetricName mirrors obs.ValidMetricName: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName mirrors obs.ValidLabelName: [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

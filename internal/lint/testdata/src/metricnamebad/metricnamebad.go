@@ -1,0 +1,34 @@
+// Package metricnamebad registers metrics with invalid Prometheus names,
+// bad label charsets, and a colliding duplicate registration.
+package metricnamebad
+
+// Registry stands in for obs.Registry; the test configures the rule's
+// RegistryTypes to point here.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter                  { return nil }
+func (r *Registry) CounterVec(name, help string, labels ...string) *Vec { return nil }
+func (r *Registry) Gauge(name, help string) *Counter                    { return nil }
+func (r *Registry) GaugeVec(name, help string, labels ...string) *Vec   { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64)      {}
+func (r *Registry) Hist(name, help string) *Counter                     { return nil }
+func (r *Registry) HistVec(name, help string, labels ...string) *Vec    { return nil }
+func (r *Registry) NotARegistration(name string) *Counter               { return nil }
+
+// Counter and Vec are opaque stand-ins for the metric handles.
+type Counter struct{}
+type Vec struct{}
+
+func register(reg *Registry) {
+	reg.Counter("jobs-submitted", "dash is not in the metric charset")
+	reg.Gauge("9queue_depth", "leading digit")
+	reg.CounterVec("http_requests_total", "ok name, bad label", "route", "status-code")
+	reg.Counter("dup_total", "first registration is fine")
+	reg.Counter("dup_total", "second registration collides")
+	reg.HistVec("latency ms", "space in name", "route")
+	// Non-literal names are outside the rule's reach: no finding.
+	name := "computed_total"
+	reg.Counter(name, "runtime-validated only")
+	// Non-registration methods are ignored even with a bad literal.
+	reg.NotARegistration("not a metric!")
+}

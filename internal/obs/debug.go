@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// traceSummary is one row of the /debug/traces list view.
+type traceSummary struct {
+	Trace      string  `json:"trace"`
+	Root       string  `json:"root,omitempty"`
+	Node       string  `json:"node,omitempty"`
+	Spans      int     `json:"spans"`
+	Errors     int     `json:"errors"`
+	StartNS    int64   `json:"start_unix_ns"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// DebugHandler serves the retained span ring as JSON:
+//
+//	GET /debug/traces            — newest-first trace list (?n= limit)
+//	GET /debug/traces?trace=<id> — one trace's spans, start-ordered
+//
+// The handler of a nil tracer reports tracing disabled.
+func (t *Tracer) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, `{"error":"tracing disabled"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			spans := t.CollectTrace(id)
+			enc.Encode(struct {
+				Trace string     `json:"trace"`
+				Spans []SpanData `json:"spans"`
+			}{Trace: id, Spans: spans})
+			return
+		}
+		limit := 50
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n > 0 {
+			limit = n
+		}
+		byTrace := make(map[string]*traceSummary)
+		var lastEnd = make(map[string]int64)
+		for _, d := range t.Spans() {
+			s, ok := byTrace[d.Trace]
+			if !ok {
+				s = &traceSummary{Trace: d.Trace, StartNS: d.StartNS}
+				byTrace[d.Trace] = s
+			}
+			s.Spans++
+			if d.Status == StatusError {
+				s.Errors++
+			}
+			if d.StartNS < s.StartNS {
+				s.StartNS = d.StartNS
+			}
+			if d.EndNS > lastEnd[d.Trace] {
+				lastEnd[d.Trace] = d.EndNS
+			}
+			if d.Parent == "" {
+				s.Root, s.Node = d.Name, d.Node
+			}
+		}
+		list := make([]traceSummary, 0, len(byTrace))
+		for id, s := range byTrace {
+			s.DurationMS = float64(lastEnd[id]-s.StartNS) / 1e6
+			list = append(list, *s)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].StartNS != list[j].StartNS {
+				return list[i].StartNS > list[j].StartNS
+			}
+			return list[i].Trace < list[j].Trace
+		})
+		if len(list) > limit {
+			list = list[:limit]
+		}
+		enc.Encode(struct {
+			Traces []traceSummary `json:"traces"`
+		}{Traces: list})
+	})
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"smthill/internal/telemetry"
+)
+
+// SinkExporter bridges spans back into the PR 2 telemetry stream: every
+// recorded span becomes one flat telemetry.Event (Type "span"), so the
+// JSONL/CSV sinks behind telemetry.OpenSink — and every jq recipe built
+// on them — work on traces too. Wire it as TracerConfig.Exporter.
+func SinkExporter(sink telemetry.Sink) func(SpanData) {
+	if sink == nil {
+		return nil
+	}
+	return func(d SpanData) {
+		ev := telemetry.Event{
+			Type:    "span",
+			Run:     d.Name,
+			Epoch:   telemetry.None,
+			Kind:    d.Kind,
+			Thread:  telemetry.None,
+			Key:     d.Attrs["key"],
+			Seconds: time.Duration(d.EndNS - d.StartNS).Seconds(),
+			Trace:   d.Trace,
+			Span:    d.Span,
+			Parent:  d.Parent,
+			Status:  d.Status,
+			Node:    d.Node,
+			Attrs:   d.Attrs,
+		}
+		sink.Emit(ev)
+	}
+}
+
+// EpochSpans wraps a telemetry sink so that each learning-epoch event
+// flowing through it also records an epoch-boundary child span under
+// the span carried by ctx — the "worker compute" segment of a
+// distributed trace resolves into per-epoch slices. Non-epoch events
+// pass through untouched.
+//
+// With no span in ctx (tracing off, or an unsampled hop) the original
+// sink is returned as-is, so the simulator's emit path gains nothing.
+func EpochSpans(ctx context.Context, next telemetry.Sink) telemetry.Sink {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return next
+	}
+	return telemetry.SinkFunc(func(ev telemetry.Event) {
+		if ev.Type == telemetry.TypeEpoch && ev.Kind == telemetry.KindLearning {
+			_, s := Start(ctx, "epoch", KindInternal)
+			s.SetAttr("epoch", strconv.Itoa(ev.Epoch))
+			if ev.Run != "" {
+				s.SetAttr("run", ev.Run)
+			}
+			s.SetAttr("score", strconv.FormatFloat(ev.Score, 'g', -1, 64))
+			s.End(nil)
+		}
+		if next != nil {
+			next.Emit(ev)
+		}
+	})
+}

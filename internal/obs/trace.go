@@ -1,0 +1,517 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds, following the OpenTelemetry vocabulary: a server span is
+// the receiving side of an RPC, a client span the sending side, and an
+// internal span everything else.
+const (
+	KindServer   = "server"
+	KindClient   = "client"
+	KindInternal = "internal"
+)
+
+// Span statuses.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)
+
+// TraceparentHeader is the W3C trace-context header carrying the trace
+// and parent-span IDs across HTTP hops.
+const TraceparentHeader = "traceparent"
+
+// SpanContext is the wire-propagated identity of a span: which trace it
+// belongs to, its own ID, and whether the head-based sampling decision
+// kept it. The zero value is invalid (no trace).
+type SpanContext struct {
+	// Trace is the 32-lowercase-hex trace ID shared by every span of one
+	// request's journey across the cluster.
+	Trace string
+	// Span is the 16-lowercase-hex span ID.
+	Span string
+	// Sampled carries the root's sampling decision to every descendant.
+	Sampled bool
+}
+
+// Valid reports whether sc identifies a span (non-zero IDs of the right
+// shape).
+func (sc SpanContext) Valid() bool {
+	return validHex(sc.Trace, 32) && validHex(sc.Span, 16)
+}
+
+// Traceparent renders sc as a W3C traceparent header value
+// (version 00).
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.Trace + "-" + sc.Span + "-" + flags
+}
+
+// ParseTraceparent parses a version-00 traceparent header value. It
+// returns ok=false on anything malformed — wrong field count, bad hex,
+// all-zero IDs — so callers fall back to a fresh root span rather than
+// propagating garbage.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// 00-<32 hex>-<16 hex>-<2 hex>
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if s[0] != '0' || s[1] != '0' {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{Trace: s[3:35], Span: s[36:52]}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	// The flags byte: bit 0 is "sampled".
+	var b [1]byte
+	if _, err := hex.Decode(b[:], []byte(s[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = b[0]&1 == 1
+	return sc, true
+}
+
+// validHex reports whether s is exactly n lowercase-hex characters and
+// not all zeros.
+func validHex(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanEvent is a point-in-time annotation inside a span — a placement
+// decision, a re-dispatch, a suspect mark.
+type SpanEvent struct {
+	Name  string            `json:"name"`
+	AtNS  int64             `json:"at_unix_ns"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanData is a completed span in exportable form: what the ring
+// stores, what /debug/traces renders, and what a worker ships back to
+// the coordinator in an ExecResponse. All IDs are lowercase hex.
+type SpanData struct {
+	Trace   string            `json:"trace"`
+	Span    string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Node    string            `json:"node,omitempty"`
+	StartNS int64             `json:"start_unix_ns"`
+	EndNS   int64             `json:"end_unix_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Events  []SpanEvent       `json:"events,omitempty"`
+	Status  string            `json:"status"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// Span is one in-flight operation. A nil *Span no-ops on every method,
+// so instrumentation sites need no tracing-enabled checks of their own.
+// Spans are safe for concurrent annotation.
+type Span struct {
+	tr      *Tracer
+	mu      sync.Mutex
+	data    SpanData
+	sampled bool
+	ended   bool
+}
+
+// Context returns the span's propagation identity for headers and
+// explicit parent hand-off (e.g. a job queued at submit time and run
+// later). A nil span returns the invalid zero SpanContext.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.data.Trace, Span: s.data.Span, Sampled: s.sampled}
+}
+
+// SetAttr records a key/value attribute, subject to the tracer's
+// per-span attribute count and size caps.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	if _, exists := s.data.Attrs[key]; !exists && len(s.data.Attrs) >= s.tr.cfg.MaxAttrs {
+		s.data.Attrs["attrs_dropped"] = "true"
+		return
+	}
+	s.data.Attrs[clip(key, s.tr.cfg.MaxAttrLen)] = clip(val, s.tr.cfg.MaxAttrLen)
+}
+
+// Event records a point-in-time annotation with optional alternating
+// key/value attribute pairs, subject to the tracer's per-span event
+// cap.
+func (s *Span) Event(name string, kv ...string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended || len(s.data.Events) >= s.tr.cfg.MaxEvents {
+		return
+	}
+	ev := SpanEvent{Name: name, AtNS: time.Now().UnixNano()}
+	if len(kv) >= 2 {
+		ev.Attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			if len(ev.Attrs) >= s.tr.cfg.MaxAttrs {
+				break
+			}
+			ev.Attrs[clip(kv[i], s.tr.cfg.MaxAttrLen)] = clip(kv[i+1], s.tr.cfg.MaxAttrLen)
+		}
+	}
+	s.data.Events = append(s.data.Events, ev)
+}
+
+// End completes the span. A nil err ends it StatusOK; otherwise the
+// span is marked StatusError, which also forces it into the ring even
+// when the head-based sampler dropped its trace (always-sample-on-
+// error). End is idempotent.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.EndNS = time.Now().UnixNano()
+	if err != nil {
+		s.data.Status = StatusError
+		s.data.Error = clip(err.Error(), s.tr.cfg.MaxAttrLen)
+	} else {
+		s.data.Status = StatusOK
+	}
+	d := s.data
+	sampled := s.sampled
+	s.mu.Unlock()
+	if sampled || d.Status == StatusError {
+		s.tr.record(d)
+	}
+}
+
+// TracerConfig configures a Tracer. Zero values select the documented
+// defaults.
+type TracerConfig struct {
+	// Node labels every span with the emitting node's identity, so a
+	// cross-node trace shows where each hop ran.
+	Node string
+	// SampleN keeps 1 of every N root spans (head-based). <= 1 keeps
+	// all. Spans of unsampled traces are still recorded if they end in
+	// error.
+	SampleN int
+	// RingCapacity bounds the completed-span ring (default 2048).
+	RingCapacity int
+	// MaxAttrs bounds attribute count per span and per event
+	// (default 32).
+	MaxAttrs int
+	// MaxAttrLen bounds attribute key/value byte length (default 256).
+	MaxAttrLen int
+	// MaxEvents bounds events per span (default 64).
+	MaxEvents int
+	// Exporter, when set, additionally receives every recorded span
+	// (see SinkExporter for the telemetry JSONL bridge).
+	Exporter func(SpanData)
+}
+
+func (c TracerConfig) withDefaults() TracerConfig {
+	if c.SampleN < 1 {
+		c.SampleN = 1
+	}
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = 2048
+	}
+	if c.MaxAttrs <= 0 {
+		c.MaxAttrs = 32
+	}
+	if c.MaxAttrLen <= 0 {
+		c.MaxAttrLen = 256
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 64
+	}
+	return c
+}
+
+// Tracer mints spans and retains completed ones in a bounded ring. A
+// nil *Tracer no-ops: every Start* returns a nil span, so wiring a
+// tracer through constructors is always safe.
+type Tracer struct {
+	cfg   TracerConfig
+	roots atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanData // fixed capacity, overwritten circularly
+	next int
+	size int
+}
+
+// NewTracer returns a tracer with cfg's caps applied.
+func NewTracer(cfg TracerConfig) *Tracer {
+	cfg = cfg.withDefaults()
+	return &Tracer{cfg: cfg, ring: make([]SpanData, cfg.RingCapacity)}
+}
+
+// newID returns n random bytes as lowercase hex. Entropy here only
+// labels spans; it never feeds simulator state.
+func newID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// Entropy exhaustion is effectively unreachable; degrade to a
+		// fixed non-zero ID rather than panicking in instrumentation.
+		for i := range b {
+			b[i] = 0xff
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// start mints a span. An invalid parent makes it a root, which takes a
+// fresh sampling decision.
+func (t *Tracer) start(parent SpanContext, name, kind string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t}
+	s.data.Name = name
+	s.data.Kind = kind
+	s.data.Node = t.cfg.Node
+	s.data.Span = newID(8)
+	s.data.StartNS = time.Now().UnixNano()
+	if parent.Valid() {
+		s.data.Trace = parent.Trace
+		s.data.Parent = parent.Span
+		s.sampled = parent.Sampled
+	} else {
+		s.data.Trace = newID(16)
+		n := t.roots.Add(1)
+		s.sampled = (n-1)%uint64(t.cfg.SampleN) == 0
+	}
+	return s
+}
+
+// StartRoot begins a new trace and returns ctx with the root span
+// attached.
+func (t *Tracer) StartRoot(ctx context.Context, name, kind string) (context.Context, *Span) {
+	return t.StartRemote(ctx, SpanContext{}, name, kind)
+}
+
+// StartRemote begins a span continuing a remotely propagated parent
+// (e.g. an extracted traceparent). An invalid parent — missing or
+// malformed header — falls back to a fresh root span.
+func (t *Tracer) StartRemote(ctx context.Context, parent SpanContext, name, kind string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.start(parent, name, kind)
+	return ContextWith(ctx, s), s
+}
+
+// Start begins a child of the span carried by ctx. With no span in ctx
+// (or a nil one), it returns ctx unchanged and a nil span — the no-op
+// path costs one context lookup and zero allocations.
+func Start(ctx context.Context, name, kind string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.tr.start(parent.Context(), name, kind)
+	return ContextWith(ctx, s), s
+}
+
+// StartFrom begins a child of an explicitly captured SpanContext — the
+// hand-off for work queued in one request and executed later, after the
+// originating request context is gone. An invalid parent yields a nil
+// span (no trace to join).
+func (t *Tracer) StartFrom(ctx context.Context, parent SpanContext, name, kind string) (context.Context, *Span) {
+	if t == nil || !parent.Valid() {
+		return ctx, nil
+	}
+	s := t.start(parent, name, kind)
+	return ContextWith(ctx, s), s
+}
+
+// record appends a completed span to the ring and forwards it to the
+// exporter.
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	t.ring[t.next] = d
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.mu.Unlock()
+	if t.cfg.Exporter != nil {
+		t.cfg.Exporter(d)
+	}
+}
+
+// Adopt records externally completed spans — a worker's backhauled
+// ExecResponse spans — into this tracer's ring, re-applying the local
+// attribute and event caps so a peer cannot grow the ring entries past
+// their budget. Spans with invalid IDs are dropped.
+func (t *Tracer) Adopt(spans []SpanData) {
+	if t == nil {
+		return
+	}
+	for _, d := range spans {
+		if !validHex(d.Trace, 32) || !validHex(d.Span, 16) {
+			continue
+		}
+		if len(d.Attrs) > t.cfg.MaxAttrs {
+			clipped := make(map[string]string, t.cfg.MaxAttrs)
+			for k, v := range d.Attrs {
+				if len(clipped) >= t.cfg.MaxAttrs {
+					break
+				}
+				clipped[clip(k, t.cfg.MaxAttrLen)] = clip(v, t.cfg.MaxAttrLen)
+			}
+			d.Attrs = clipped
+		}
+		if len(d.Events) > t.cfg.MaxEvents {
+			d.Events = d.Events[:t.cfg.MaxEvents]
+		}
+		t.record(d)
+	}
+}
+
+// Len returns the number of completed spans currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Spans returns a copy of the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, t.size)
+	start := t.next - t.size
+	for i := 0; i < t.size; i++ {
+		out = append(out, t.ring[(start+i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// CollectTrace returns every retained span of one trace, deduplicated
+// by span ID and sorted by start time — the backhaul payload a worker
+// ships to the coordinator, and the /debug/traces timeline body.
+func (t *Tracer) CollectTrace(traceID string) []SpanData {
+	if t == nil {
+		return nil
+	}
+	var out []SpanData
+	seen := make(map[string]bool)
+	for _, d := range t.Spans() {
+		if d.Trace == traceID && !seen[d.Span] {
+			seen[d.Span] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// clip truncates s to at most n bytes.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying s. A nil span returns ctx unchanged.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Inject writes the traceparent header for the span carried by ctx, if
+// any — call on every outbound fabric request.
+func Inject(ctx context.Context, h http.Header) {
+	if s := FromContext(ctx); s != nil {
+		h.Set(TraceparentHeader, s.Context().Traceparent())
+	}
+}
+
+// Extract parses the traceparent header from an inbound request's
+// headers. A missing or malformed header returns the invalid zero
+// SpanContext, which Start* treats as "begin a fresh root".
+func Extract(h http.Header) SpanContext {
+	sc, ok := ParseTraceparent(h.Get(TraceparentHeader))
+	if !ok {
+		return SpanContext{}
+	}
+	return sc
+}
+
+// String implements fmt.Stringer for log lines.
+func (sc SpanContext) String() string {
+	if !sc.Valid() {
+		return "invalid"
+	}
+	return fmt.Sprintf("%s/%s sampled=%v", sc.Trace, sc.Span, sc.Sampled)
+}

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -29,7 +30,7 @@ func TestFabricWiring(t *testing.T) {
 	// locally, with the result landing in the coordinator's store.
 	v, _ := submit(t, ts.URL, tinySpec())
 	waitState(t, ts.URL, v.ID, "done")
-	if _, ok := coord.Backend().Get(tinySpec().Key()); !ok {
+	if _, ok := coord.Backend().Get(context.Background(), tinySpec().Key()); !ok {
 		t.Error("completed job result missing from the coordinator store")
 	}
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"smthill/internal/experiment"
+	"smthill/internal/obs"
 	"smthill/internal/simjob"
 )
 
@@ -74,7 +75,21 @@ func (s *Server) buildRoutes() http.Handler {
 	s.handle(mux, "GET /v1/experiments/{name}", true, false, s.handleExperiment)
 	s.handle(mux, "GET /healthz", false, true, s.handleHealthz)
 	s.handle(mux, "GET /metrics", false, true, s.handleMetrics)
+	s.handle(mux, "GET /debug/traces", false, true, s.handleDebugTraces)
+	// Catch-all: unmatched URLs are answered (and counted) under the
+	// single "other" route label instead of falling through to the
+	// mux's unobserved 404, so unknown paths cannot mint metric series.
+	s.handle(mux, "/", false, true, s.handleNotFound)
 	return mux
+}
+
+// handleDebugTraces serves the trace ring (404 when tracing is off).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	s.tracer.DebugHandler().ServeHTTP(w, r)
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "no such endpoint: %s %s", r.Method, r.URL.Path)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -107,12 +122,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{
-		id:   s.store.nextID(),
-		kind: kindSim,
-		spec: spec,
-		key:  spec.Key(),
-		hub:  newHub(s.cfg.EventBuffer),
-		done: make(chan struct{}),
+		id:    s.store.nextID(),
+		kind:  kindSim,
+		spec:  spec,
+		key:   spec.Key(),
+		hub:   newHub(s.cfg.EventBuffer),
+		done:  make(chan struct{}),
+		trace: obs.FromContext(r.Context()).Context(),
 	}
 	j.state = StateQueued
 	j.created = time.Now()
@@ -234,6 +250,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		expOpts: opts,
 		hub:     newHub(s.cfg.EventBuffer),
 		done:    make(chan struct{}),
+		trace:   obs.FromContext(r.Context()).Context(),
 	}
 	j.state = StateQueued
 	j.created = time.Now()
@@ -317,18 +334,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, body)
 }
 
-// handleMetrics renders the text exposition (see metrics.go).
+// handleMetrics renders the text exposition: the registry (the
+// server's own series plus anything attached via Config.Registry),
+// then any ExtraMetrics sections verbatim.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	s.metrics.write(w, gauges{
-		queueDepth:    len(s.queue),
-		queueCapacity: s.cfg.QueueDepth,
-		expQueueDepth: len(s.expQueue),
-		inflight:      int(s.inflight.Load()),
-		workers:       s.cfg.Workers,
-		jobsStored:    s.store.count(),
-	}, time.Now())
+	s.expose.Write(w)
 	for _, write := range s.cfg.ExtraMetrics {
 		write(w)
 	}

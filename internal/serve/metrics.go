@@ -1,80 +1,116 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
 	"strconv"
-	"sync"
 	"time"
 
+	"smthill/internal/obs"
 	"smthill/internal/sweep"
-	"smthill/internal/telemetry"
 )
 
-// metricsSet accumulates the daemon's counters: job admission and
-// completion, sweep-engine cache effectiveness, and per-route HTTP
-// request latency histograms (reusing telemetry.Hist's power-of-two
-// buckets, observed in milliseconds). All methods are safe for
-// concurrent use.
+// metricsSet is the daemon's instrumentation, backed by an obs.Registry
+// (PR 7): job admission and completion counters, sweep-engine cache
+// effectiveness, per-route HTTP latency histograms, and live gauges
+// registered as functions over server state. The registry validates
+// names and renders the exposition; all methods are safe for concurrent
+// use.
 type metricsSet struct {
-	mu               sync.Mutex
-	start            time.Time
-	submitted        uint64
-	rejectedQueue    uint64
-	rejectedRate     uint64
-	rejectedDraining uint64
-	finishedDone     uint64
-	finishedFailed   uint64
-	finishedCanceled uint64
-	sweepDone        uint64
-	sweepHits        uint64
-	sweepRemote      uint64
-	httpCount        map[string]map[string]uint64 // route -> status -> count
-	httpLat          map[string]*telemetry.Hist   // route -> latency (ms)
+	reg *obs.Registry
+
+	submitted   *obs.Counter
+	rejected    *obs.CounterVec // reason
+	finished    *obs.CounterVec // state
+	sweepDone   *obs.Counter
+	sweepHits   *obs.Counter
+	sweepRemote *obs.Counter
+	httpReq     *obs.CounterVec // route, status
+	httpLat     *obs.HistVec    // route
 }
 
 func newMetrics(now time.Time) *metricsSet {
-	return &metricsSet{
-		start:     now,
-		httpCount: make(map[string]map[string]uint64),
-		httpLat:   make(map[string]*telemetry.Hist),
+	reg := obs.NewRegistry()
+	m := &metricsSet{
+		reg: reg,
+		submitted: reg.Counter("smtserved_jobs_submitted_total",
+			"jobs admitted to a queue"),
+		rejected: reg.CounterVec("smtserved_jobs_rejected_total",
+			"admission failures by reason", "reason"),
+		finished: reg.CounterVec("smtserved_jobs_finished_total",
+			"terminal job transitions by state", "state"),
+		sweepDone: reg.Counter("smtserved_sweep_jobs_total",
+			"sweep jobs completed (any source)"),
+		sweepHits: reg.Counter("smtserved_sweep_cache_hits_total",
+			"sweep jobs served from memo or cache"),
+		sweepRemote: reg.Counter("smtserved_sweep_remote_total",
+			"sweep jobs computed by a fabric remote"),
+		httpReq: reg.CounterVec("smtserved_http_requests_total",
+			"served requests by route and status", "route", "status"),
+		httpLat: reg.HistVec("smtserved_http_request_ms",
+			"request latency in milliseconds by route", "route"),
 	}
+	// Materialize the full label vocabulary so zero-valued series render.
+	for _, r := range []string{"queue_full", "rate_limited", "draining"} {
+		m.rejected.With(r)
+	}
+	for _, st := range []string{"done", "failed", "canceled"} {
+		m.finished.With(st)
+	}
+	reg.GaugeFunc("smtserved_uptime_seconds",
+		"seconds since the daemon started",
+		func() float64 { return time.Since(now).Seconds() })
+	reg.GaugeFunc("smtserved_sweep_cache_hit_ratio",
+		"fraction of completed sweep jobs served from memo or cache",
+		func() float64 {
+			done := m.sweepDone.Value()
+			if done == 0 {
+				return 0
+			}
+			return float64(m.sweepHits.Value()) / float64(done)
+		})
+	return m
 }
 
-func (m *metricsSet) jobSubmitted() {
-	m.mu.Lock()
-	m.submitted++
-	m.mu.Unlock()
+// registerServerGauges adds the live point-in-time gauges, which need
+// the constructed Server. Called once from New, before the first
+// scrape.
+func (m *metricsSet) registerServerGauges(s *Server) {
+	m.reg.GaugeFunc("smtserved_queue_depth",
+		"simulation jobs waiting in the FIFO queue",
+		func() float64 { return float64(len(s.queue)) })
+	m.reg.GaugeFunc("smtserved_queue_capacity",
+		"FIFO queue capacity",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	m.reg.GaugeFunc("smtserved_experiment_queue_depth",
+		"experiment jobs waiting in their dedicated lane",
+		func() float64 { return float64(len(s.expQueue)) })
+	m.reg.GaugeFunc("smtserved_jobs_inflight",
+		"jobs currently executing",
+		func() float64 { return float64(s.inflight.Load()) })
+	m.reg.GaugeFunc("smtserved_workers",
+		"worker-pool size",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.reg.GaugeFunc("smtserved_jobs_stored",
+		"jobs retained in the store (pollable)",
+		func() float64 { return float64(s.store.count()) })
 }
+
+func (m *metricsSet) jobSubmitted() { m.submitted.Inc() }
 
 // jobRejected counts one admission failure by reason: "queue_full",
 // "rate_limited", or "draining".
 func (m *metricsSet) jobRejected(reason string) {
-	m.mu.Lock()
 	switch reason {
-	case "queue_full":
-		m.rejectedQueue++
-	case "rate_limited":
-		m.rejectedRate++
-	case "draining":
-		m.rejectedDraining++
+	case "queue_full", "rate_limited", "draining":
+		m.rejected.With(reason).Inc()
 	}
-	m.mu.Unlock()
 }
 
 // jobFinished counts one terminal transition.
 func (m *metricsSet) jobFinished(state JobState) {
-	m.mu.Lock()
 	switch state {
-	case StateDone:
-		m.finishedDone++
-	case StateFailed:
-		m.finishedFailed++
-	case StateCanceled:
-		m.finishedCanceled++
+	case StateDone, StateFailed, StateCanceled:
+		m.finished.With(string(state)).Inc()
 	}
-	m.mu.Unlock()
 }
 
 // observeSweep counts completed sweep jobs, memo/disk-cache hits, and
@@ -85,122 +121,25 @@ func (m *metricsSet) observeSweep(ev sweep.Event) {
 	if ev.Kind != sweep.JobDone {
 		return
 	}
-	m.mu.Lock()
-	m.sweepDone++
+	m.sweepDone.Inc()
 	switch ev.Source {
-	case sweep.FromRun, sweep.FromRemote:
-		if ev.Source == sweep.FromRemote {
-			m.sweepRemote++
-		}
+	case sweep.FromRun:
+	case sweep.FromRemote:
+		m.sweepRemote.Inc()
 	default:
-		m.sweepHits++
+		m.sweepHits.Inc()
 	}
-	m.mu.Unlock()
 }
 
-// observeHTTP records one served request.
+// observeHTTP records one served request. route must come from the
+// bounded registration-pattern set (see Server.handle) — never from the
+// request URL — so label cardinality cannot grow with client behaviour.
 func (m *metricsSet) observeHTTP(route string, status int, elapsed time.Duration) {
-	statusKey := strconv.Itoa(status)
-	m.mu.Lock()
-	byStatus, ok := m.httpCount[route]
-	if !ok {
-		byStatus = make(map[string]uint64)
-		m.httpCount[route] = byStatus
-	}
-	byStatus[statusKey]++
-	h, ok := m.httpLat[route]
-	if !ok {
-		h = &telemetry.Hist{}
-		m.httpLat[route] = h
-	}
-	h.Observe(int(elapsed.Milliseconds()))
-	m.mu.Unlock()
+	m.httpReq.With(route, strconv.Itoa(status)).Inc()
+	m.httpLat.With(route).Observe(int(elapsed.Milliseconds()))
 }
 
-// gauges is the point-in-time state the server contributes to an
-// exposition (the counters above are cumulative; these are live).
-type gauges struct {
-	queueDepth    int
-	queueCapacity int
-	expQueueDepth int
-	inflight      int
-	workers       int
-	jobsStored    int
-}
-
-// write renders the Prometheus-style text exposition. Map-keyed series
-// are emitted in sorted-key order so the output is stable (and diffable
-// in tests).
-func (m *metricsSet) write(w io.Writer, g gauges, now time.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintf(w, "smtserved_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
-	fmt.Fprintf(w, "smtserved_queue_depth %d\n", g.queueDepth)
-	fmt.Fprintf(w, "smtserved_queue_capacity %d\n", g.queueCapacity)
-	fmt.Fprintf(w, "smtserved_experiment_queue_depth %d\n", g.expQueueDepth)
-	fmt.Fprintf(w, "smtserved_jobs_inflight %d\n", g.inflight)
-	fmt.Fprintf(w, "smtserved_workers %d\n", g.workers)
-	fmt.Fprintf(w, "smtserved_jobs_stored %d\n", g.jobsStored)
-	fmt.Fprintf(w, "smtserved_jobs_submitted_total %d\n", m.submitted)
-	fmt.Fprintf(w, "smtserved_jobs_rejected_total{reason=\"queue_full\"} %d\n", m.rejectedQueue)
-	fmt.Fprintf(w, "smtserved_jobs_rejected_total{reason=\"rate_limited\"} %d\n", m.rejectedRate)
-	fmt.Fprintf(w, "smtserved_jobs_rejected_total{reason=\"draining\"} %d\n", m.rejectedDraining)
-	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"done\"} %d\n", m.finishedDone)
-	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"failed\"} %d\n", m.finishedFailed)
-	fmt.Fprintf(w, "smtserved_jobs_finished_total{state=\"canceled\"} %d\n", m.finishedCanceled)
-	fmt.Fprintf(w, "smtserved_sweep_jobs_total %d\n", m.sweepDone)
-	fmt.Fprintf(w, "smtserved_sweep_cache_hits_total %d\n", m.sweepHits)
-	fmt.Fprintf(w, "smtserved_sweep_remote_total %d\n", m.sweepRemote)
-	ratio := 0.0
-	if m.sweepDone > 0 {
-		ratio = float64(m.sweepHits) / float64(m.sweepDone)
-	}
-	fmt.Fprintf(w, "smtserved_sweep_cache_hit_ratio %.6f\n", ratio)
-
-	routes := make([]string, 0, len(m.httpCount))
-	for r := range m.httpCount {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		statuses := make([]string, 0, len(m.httpCount[r]))
-		for s := range m.httpCount[r] {
-			statuses = append(statuses, s)
-		}
-		sort.Strings(statuses)
-		for _, s := range statuses {
-			fmt.Fprintf(w, "smtserved_http_requests_total{route=%q,status=%q} %d\n", r, s, m.httpCount[r][s])
-		}
-	}
-
-	latRoutes := make([]string, 0, len(m.httpLat))
-	for r := range m.httpLat {
-		latRoutes = append(latRoutes, r)
-	}
-	sort.Strings(latRoutes)
-	for _, r := range latRoutes {
-		h := m.httpLat[r]
-		var cum uint64
-		for i := 0; i < telemetry.HistBuckets; i++ {
-			cum += h.Buckets[i]
-			le := "+Inf"
-			if i < telemetry.HistBuckets-1 {
-				// Bucket i holds integer milliseconds in
-				// [BucketLo(i), 2*BucketLo(i)), so the inclusive upper
-				// bound is the next bucket's low edge minus one.
-				le = strconv.Itoa(telemetry.BucketLo(i+1) - 1)
-			}
-			fmt.Fprintf(w, "smtserved_http_request_ms_bucket{route=%q,le=%q} %d\n", r, le, cum)
-		}
-		fmt.Fprintf(w, "smtserved_http_request_ms_sum{route=%q} %d\n", r, h.Sum)
-		fmt.Fprintf(w, "smtserved_http_request_ms_count{route=%q} %d\n", r, h.Count)
-	}
-}
-
-// snapshot returns (sweepDone, sweepHits) for tests and handlers.
+// sweepCounts returns (sweepDone, sweepHits) for tests and handlers.
 func (m *metricsSet) sweepCounts() (done, hits uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sweepDone, m.sweepHits
+	return m.sweepDone.Value(), m.sweepHits.Value()
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"smthill/internal/obs"
 )
 
 // statusWriter records the response status for metrics and whether
@@ -44,15 +46,33 @@ func (sw *statusWriter) Flush() {
 // handle registers pattern on mux wrapped in the daemon middleware
 // stack: panic isolation (a handler panic becomes a logged 500, never a
 // dead process), optional per-client rate limiting, an optional request
-// deadline, and per-route latency/status metrics labelled with the
-// registration pattern. Routes that outlive RequestTimeout by design —
-// the SSE stream, and the experiments endpoint with its own bounded
-// wait — pass deadline=false so their r.Context() only ends on client
-// disconnect or server shutdown.
+// deadline, per-route latency/status metrics, and (tracer configured) a
+// server span continuing the request's traceparent or opening a new
+// root. Routes that outlive RequestTimeout by design — the SSE stream,
+// and the experiments endpoint with its own bounded wait — pass
+// deadline=false so their r.Context() only ends on client disconnect or
+// server shutdown.
+//
+// The metrics route label is always the registration pattern, with the
+// catch-all "/" pattern normalised to "other": label cardinality is
+// bounded by the route table, never by what clients request.
 func (s *Server) handle(mux *http.ServeMux, pattern string, limited, deadline bool, h http.HandlerFunc) {
+	route := pattern
+	if route == "/" {
+		route = "other"
+	}
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		// Only API routes open spans: monitoring endpoints are scraped on
+		// a cadence and would drown the trace ring in probe roots. The
+		// limited flag is exactly the /v1 API set.
+		var span *obs.Span
+		if limited {
+			var ctx context.Context
+			ctx, span = s.tracer.StartRemote(r.Context(), obs.Extract(r.Header), route, obs.KindServer)
+			r = r.WithContext(ctx)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.cfg.Logf("serve: %s panic: %v\n%s", pattern, p, debug.Stack())
@@ -67,7 +87,13 @@ func (s *Server) handle(mux *http.ServeMux, pattern string, limited, deadline bo
 				// belt-and-braces default for the metrics label.
 				status = http.StatusOK
 			}
-			s.metrics.observeHTTP(pattern, status, time.Since(start))
+			s.metrics.observeHTTP(route, status, time.Since(start))
+			span.SetAttr("status", fmt.Sprintf("%d", status))
+			if status >= http.StatusInternalServerError {
+				span.End(fmt.Errorf("HTTP %d", status))
+			} else {
+				span.End(nil)
+			}
 		}()
 
 		if limited {

@@ -1,0 +1,123 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"smthill/internal/obs"
+	"smthill/internal/serve"
+)
+
+// TestUnknownRoutesCollapseToOther is the route-cardinality regression
+// (PR 7 S2): requests for paths outside the route table must all count
+// under the single route="other" label — a client scanning random URLs
+// cannot mint new metric series.
+func TestUnknownRoutesCollapseToOther(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	paths := []string{
+		"/nope",
+		"/v2/secret-probe",
+		"/admin/../../etc/passwd",
+		"/v1/jobsX",
+	}
+	for _, p := range paths {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", p, resp.StatusCode)
+		}
+	}
+
+	body := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `smtserved_http_requests_total{route="other",status="404"} 4`) {
+		t.Errorf("unknown routes not collapsed into route=\"other\":\n%s", body)
+	}
+	for _, raw := range []string{"nope", "secret-probe", "passwd", "jobsX"} {
+		if strings.Contains(body, raw) {
+			t.Errorf("raw request path %q leaked into the metrics exposition", raw)
+		}
+	}
+}
+
+// TestServeTraceContinuation checks the daemon side of distributed
+// tracing: a traced submit request opens a server span, the async job
+// continues the same trace, and /debug/traces serves both. With no
+// tracer configured the debug endpoint reports tracing disabled.
+func TestServeTraceContinuation(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{Node: "daemon", SampleN: 1})
+	_, ts := newTestServer(t, serve.Config{Workers: 1, Tracer: tracer})
+
+	parent := obs.SpanContext{
+		Trace:   "aaaabbbbccccddddaaaabbbbccccdddd",
+		Span:    "aaaabbbbccccdddd",
+		Sampled: true,
+	}
+	body, _ := json.Marshal(tinySpec())
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, parent.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	waitState(t, ts.URL, v.ID, "done")
+
+	spans := tracer.CollectTrace(parent.Trace)
+	names := map[string]bool{}
+	for _, d := range spans {
+		names[d.Name] = true
+	}
+	if !names["POST /v1/jobs"] {
+		t.Errorf("no API server span in trace: %v", names)
+	}
+	if !names["serve.job"] {
+		t.Errorf("async job did not continue the submit trace: %v", names)
+	}
+
+	// The trace is served over HTTP.
+	dbg := getText(t, ts.URL+"/debug/traces?trace="+parent.Trace)
+	if !strings.Contains(dbg, "serve.job") {
+		t.Errorf("/debug/traces view missing the job span:\n%s", dbg)
+	}
+
+	// Monitoring endpoints must not open spans: scrape twice, then check
+	// no span named for the metrics route exists.
+	getText(t, ts.URL+"/metrics")
+	getText(t, ts.URL+"/healthz")
+	for _, d := range tracer.Spans() {
+		if strings.Contains(d.Name, "/metrics") || strings.Contains(d.Name, "/healthz") {
+			t.Errorf("monitoring endpoint opened a span: %q", d.Name)
+		}
+	}
+}
+
+// TestDebugTracesDisabledWithoutTracer pins the tracing-off behaviour of
+// the debug endpoint.
+func TestDebugTracesDisabledWithoutTracer(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/traces without a tracer = %d, want 404", resp.StatusCode)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"smthill/internal/experiment"
+	"smthill/internal/obs"
 	"smthill/internal/simjob"
 	"smthill/internal/sweep"
 	"smthill/internal/telemetry"
@@ -82,8 +83,21 @@ type Config struct {
 	// compute.
 	Remote sweep.Remote
 	// ExtraMetrics appends additional sections to the /metrics
-	// exposition (e.g. fabric dispatch and store counters).
+	// exposition (e.g. fabric dispatch and store counters). Prefer
+	// Registry where possible: attached registries render as one
+	// sorted, validated exposition; ExtraMetrics output is appended
+	// verbatim.
 	ExtraMetrics []func(io.Writer)
+	// Registry, when set, is the node-wide metric registry: the
+	// server's own series are attached into it and /metrics renders it
+	// whole, so fabric components sharing the registry appear on the
+	// same scrape without double-rendering.
+	Registry *obs.Registry
+	// Tracer, when set, traces /v1/* requests (continuing a client's
+	// traceparent or opening a new sampled root), the jobs they spawn,
+	// and the learning epochs inside those jobs; /debug/traces serves
+	// the recorded spans.
+	Tracer *obs.Tracer
 	// ExtraHealth merges additional keys into the /healthz body (e.g.
 	// fabric role and peer liveness).
 	ExtraHealth func() map[string]any
@@ -147,10 +161,10 @@ func (c Config) withDefaults() Config {
 // experiment.SetEngine), so run one Server per process if the
 // experiments endpoint is used.
 type Server struct {
-	cfg     Config
-	eng     *sweep.Engine
-	store   *store
-	queue   chan *job
+	cfg   Config
+	eng   *sweep.Engine
+	store *store
+	queue chan *job
 	// expQueue is the experiments' own lane: experiment jobs serialise
 	// on the process-global experiment engine/context (see expMu), so
 	// running them on the shared pool would park up to Workers pool
@@ -160,6 +174,8 @@ type Server struct {
 	metrics  *metricsSet
 	limits   *limiter
 	routes   http.Handler
+	tracer   *obs.Tracer
+	expose   *obs.Registry // what /metrics renders (node-wide or own)
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -201,6 +217,14 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		watchers:   make(map[string]map[*job]struct{}),
+		tracer:     cfg.Tracer,
+	}
+	s.metrics.registerServerGauges(s)
+	if cfg.Registry != nil {
+		cfg.Registry.Attach(s.metrics.reg)
+		s.expose = cfg.Registry
+	} else {
+		s.expose = s.metrics.reg
 	}
 	switch {
 	case cfg.Backend != nil:
@@ -323,6 +347,18 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 	defer cancel()
 
+	// The job runs after its submit request returned 202, so the submit
+	// span has ended; continue its trace from the SpanContext captured
+	// at admission. With tracing off (or an unsampled submit) this is a
+	// nil no-op span.
+	ctx, span := s.tracer.StartFrom(ctx, j.trace, "serve.job", obs.KindInternal)
+	span.SetAttr("job", j.id)
+	if j.kind == kindSim {
+		span.SetAttr("key", j.key)
+	} else {
+		span.SetAttr("experiment", j.expName)
+	}
+
 	switch j.kind {
 	case kindSim:
 		s.runSim(ctx, j)
@@ -330,6 +366,12 @@ func (s *Server) runJob(j *job) {
 		s.runExperiment(ctx, j)
 	}
 	state, _, _, _, _, _, _, _ := j.snapshot()
+	span.SetAttr("state", string(state))
+	if state == StateFailed {
+		span.End(errors.New("job failed"))
+	} else {
+		span.End(nil)
+	}
 	s.metrics.jobFinished(state)
 }
 
@@ -348,7 +390,9 @@ func (s *Server) runSim(ctx context.Context, j *job) {
 	jobs := []sweep.Job[simjob.Result]{{
 		Key: j.key,
 		Run: func(ctx context.Context) (simjob.Result, error) {
-			return simjob.Run(ctx, j.spec, sink)
+			// EpochSpans slices the compute span into per-epoch child
+			// spans; with no span in ctx it returns sink unchanged.
+			return simjob.Run(ctx, j.spec, obs.EpochSpans(ctx, sink))
 		},
 	}}
 	res, err := sweep.Run(ctx, s.eng, jobs)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"smthill/internal/experiment"
+	"smthill/internal/obs"
 	"smthill/internal/simjob"
 	"smthill/internal/sweep"
 )
@@ -65,6 +66,10 @@ type job struct {
 	// done is closed on the terminal transition, for callers that wait
 	// on completion (the experiments handler, tests).
 	done chan struct{}
+	// trace is the submit request's span context, captured at admission
+	// so the job — which runs after the submit response was written —
+	// can continue the same distributed trace. Zero when untraced.
+	trace obs.SpanContext
 
 	mu       sync.Mutex
 	state    JobState

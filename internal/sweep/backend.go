@@ -15,13 +15,17 @@ import (
 // schema); Put must be atomic — a concurrent reader sees either the
 // whole entry or none of it — and idempotent, because the determinism
 // contract makes every write of a key carry identical bytes.
+//
+// ctx carries cancellation and the active trace span to networked
+// implementations (the fabric store client propagates it as a
+// traceparent header); purely local backends may ignore it.
 type Backend interface {
 	// Get returns the stored raw JSON result for key, or ok=false on
 	// any miss.
-	Get(key string) (json.RawMessage, bool)
+	Get(ctx context.Context, key string) (json.RawMessage, bool)
 	// Put stores the raw JSON result for key. Failures are reported but
 	// never treated as job failures by the engine.
-	Put(key string, result json.RawMessage) error
+	Put(ctx context.Context, key string, result json.RawMessage) error
 }
 
 // Remote lets the engine delegate a job's computation to another node
@@ -39,14 +43,14 @@ type Remote interface {
 // SetCache it must be called before the first Run.
 func (e *Engine) SetBackend(b Backend) { e.cache = b }
 
-// SetRemote installs a remote execution delegate consulted before each
-// local job run (nil removes it). Must be called before the first Run.
-func (e *Engine) SetRemote(r Remote) { e.remote = r }
-
 // Lookup consults the in-process memo, then the backend, returning the
 // stored raw JSON for key. A backend hit is promoted into the memo.
 // Exported for fabric workers, which answer exec requests with the
 // exact bytes the engine stored.
-func (e *Engine) Lookup(key string) (json.RawMessage, Source, bool) {
-	return e.lookup(key)
+func (e *Engine) Lookup(ctx context.Context, key string) (json.RawMessage, Source, bool) {
+	return e.lookup(ctx, key)
 }
+
+// SetRemote installs a remote execution delegate consulted before each
+// local job run (nil removes it). Must be called before the first Run.
+func (e *Engine) SetRemote(r Remote) { e.remote = r }

@@ -17,14 +17,14 @@ type memBackend struct {
 
 func newMemBackend() *memBackend { return &memBackend{m: map[string]json.RawMessage{}} }
 
-func (b *memBackend) Get(key string) (json.RawMessage, bool) {
+func (b *memBackend) Get(_ context.Context, key string) (json.RawMessage, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	raw, ok := b.m[key]
 	return raw, ok
 }
 
-func (b *memBackend) Put(key string, raw json.RawMessage) error {
+func (b *memBackend) Put(_ context.Context, key string, raw json.RawMessage) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m[key] = append(json.RawMessage(nil), raw...)
@@ -87,7 +87,7 @@ func TestParseKeySprintfGrammar(t *testing.T) {
 
 func TestSetBackendServesHits(t *testing.T) {
 	b := newMemBackend()
-	if err := b.Put("k", json.RawMessage(`42`)); err != nil {
+	if err := b.Put(context.Background(), "k", json.RawMessage(`42`)); err != nil {
 		t.Fatal(err)
 	}
 	e := NewEngine(1)
@@ -118,7 +118,7 @@ func TestSetBackendReceivesStores(t *testing.T) {
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	raw, ok := b.Get("k")
+	raw, ok := b.Get(context.Background(), "k")
 	if !ok || string(raw) != "9" {
 		t.Fatalf("backend entry = %q, %v; want \"9\", true", raw, ok)
 	}
@@ -163,7 +163,7 @@ func TestRemoteHandlesJob(t *testing.T) {
 		t.Fatalf("done sources = %v, want [remote]", sources)
 	}
 	// The remote bytes are memoised: a second batch hits the memo.
-	if raw, src, ok := e.Lookup("k"); !ok || src != FromMemo || string(raw) != "123" {
+	if raw, src, ok := e.Lookup(context.Background(), "k"); !ok || src != FromMemo || string(raw) != "123" {
 		t.Fatalf("Lookup after remote = %q %v %v", raw, src, ok)
 	}
 }

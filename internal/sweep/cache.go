@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -68,7 +69,7 @@ func (c *Cache) path(key string) string {
 // a logger is installed (SetLogf) the damage is reported, because a
 // present-but-unusable file — unlike a plain absence — usually means a
 // truncated write or bit rot worth an operator's attention.
-func (c *Cache) Get(key string) (json.RawMessage, bool) {
+func (c *Cache) Get(_ context.Context, key string) (json.RawMessage, bool) {
 	p := c.path(key)
 	b, err := os.ReadFile(p)
 	if err != nil {
@@ -104,7 +105,7 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 // entry visible to a shared store — readers see the old entry (none)
 // or the whole new one. (Get additionally treats a corrupt entry as a
 // miss, so even bit rot downgrades to a recompute, never an error.)
-func (c *Cache) Put(key string, result json.RawMessage) error {
+func (c *Cache) Put(_ context.Context, key string, result json.RawMessage) error {
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err

@@ -15,19 +15,19 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get("k1"); ok {
+	if _, ok := c.Get(context.Background(), "k1"); ok {
 		t.Fatal("hit on empty cache")
 	}
 	want := json.RawMessage(`[1.5,0.3333333333333333]`)
-	if err := c.Put("k1", want); err != nil {
+	if err := c.Put(context.Background(), "k1", want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Get("k1")
+	got, ok := c.Get(context.Background(), "k1")
 	if !ok || string(got) != string(want) {
 		t.Fatalf("got %s ok=%v", got, ok)
 	}
 	// Distinct keys address distinct files.
-	if _, ok := c.Get("k2"); ok {
+	if _, ok := c.Get(context.Background(), "k2"); ok {
 		t.Fatal("k2 aliased k1")
 	}
 }
@@ -44,10 +44,10 @@ func TestCacheFloatExactness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("floats", raw); err != nil {
+	if err := c.Put(context.Background(), "floats", raw); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Get("floats")
+	got, ok := c.Get(context.Background(), "floats")
 	if !ok {
 		t.Fatal("miss")
 	}
@@ -88,7 +88,7 @@ func TestCacheRejectsCorruptAndMismatchedEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("k", json.RawMessage(`1`)); err != nil {
+	if err := c.Put(context.Background(), "k", json.RawMessage(`1`)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -96,21 +96,21 @@ func TestCacheRejectsCorruptAndMismatchedEntries(t *testing.T) {
 	if n := corruptAll(t, dir, []byte("{not json")); n != 1 {
 		t.Fatalf("%d files", n)
 	}
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("corrupt entry served")
 	}
 
 	// Wrong schema version -> miss.
 	bad, _ := json.Marshal(entry{Schema: SchemaVersion + 1, Key: "k", Result: json.RawMessage(`1`)})
 	corruptAll(t, dir, bad)
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("wrong-schema entry served")
 	}
 
 	// Wrong key (as after a collision or addressing change) -> miss.
 	bad, _ = json.Marshal(entry{Schema: SchemaVersion, Key: "other", Result: json.RawMessage(`1`)})
 	corruptAll(t, dir, bad)
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("wrong-key entry served")
 	}
 }
@@ -130,7 +130,7 @@ func TestCacheTruncatedEntryLogsAndRecovers(t *testing.T) {
 	c.SetLogf(func(format string, args ...any) {
 		logs = append(logs, fmt.Sprintf(format, args...))
 	})
-	if err := c.Put("k", json.RawMessage(`[1,2,3]`)); err != nil {
+	if err := c.Put(context.Background(), "k", json.RawMessage(`[1,2,3]`)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -153,7 +153,7 @@ func TestCacheTruncatedEntryLogsAndRecovers(t *testing.T) {
 		t.Fatal("no cache entry written")
 	}
 
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("truncated entry served")
 	}
 	if len(logs) != 1 || !strings.Contains(logs[0], "corrupt entry") {
@@ -177,7 +177,7 @@ func TestCacheTruncatedEntryLogsAndRecovers(t *testing.T) {
 	// Both reads of the damaged entry (ours and the engine's lookup)
 	// logged; the repaired entry reads silently.
 	repaired := len(logs)
-	if got, ok := c.Get("k"); !ok || string(got) != "[1,2,3]" {
+	if got, ok := c.Get(context.Background(), "k"); !ok || string(got) != "[1,2,3]" {
 		t.Fatalf("entry not repaired: %s ok=%v", got, ok)
 	}
 	if len(logs) != repaired {
@@ -197,12 +197,12 @@ func TestCacheKeyMismatchLogged(t *testing.T) {
 	c.SetLogf(func(format string, args ...any) {
 		logs = append(logs, fmt.Sprintf(format, args...))
 	})
-	if err := c.Put("k", json.RawMessage(`1`)); err != nil {
+	if err := c.Put(context.Background(), "k", json.RawMessage(`1`)); err != nil {
 		t.Fatal(err)
 	}
 	bad, _ := json.Marshal(entry{Schema: SchemaVersion, Key: "other", Result: json.RawMessage(`1`)})
 	corruptAll(t, dir, bad)
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("wrong-key entry served")
 	}
 	if len(logs) != 1 || !strings.Contains(logs[0], `"other"`) {
@@ -213,7 +213,7 @@ func TestCacheKeyMismatchLogged(t *testing.T) {
 	logs = nil
 	stale, _ := json.Marshal(entry{Schema: SchemaVersion + 1, Key: "k", Result: json.RawMessage(`1`)})
 	corruptAll(t, dir, stale)
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("wrong-schema entry served")
 	}
 	if len(logs) != 0 {
@@ -229,7 +229,7 @@ func TestEngineRecomputesCorruptEntry(t *testing.T) {
 	}
 	// A stale entry whose payload no longer unmarshals as the job's
 	// result type must be recomputed, not served.
-	if err := c.Put("job", json.RawMessage(`"not a number"`)); err != nil {
+	if err := c.Put(context.Background(), "job", json.RawMessage(`"not a number"`)); err != nil {
 		t.Fatal(err)
 	}
 	e := NewEngine(1)
@@ -246,7 +246,7 @@ func TestEngineRecomputesCorruptEntry(t *testing.T) {
 		t.Fatalf("ran=%v res=%v", ran, res)
 	}
 	// The recomputation overwrote the stale entry.
-	got, ok := c.Get("job")
+	got, ok := c.Get(context.Background(), "job")
 	if !ok || string(got) != "4.5" {
 		t.Fatalf("cache after recompute: %s ok=%v", got, ok)
 	}

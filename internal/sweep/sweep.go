@@ -37,6 +37,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"smthill/internal/obs"
 )
 
 // Job is one independent unit of simulation work producing a result of
@@ -126,7 +128,7 @@ func (e *Engine) emit(ev Event) {
 
 // lookup consults the in-process memo, then the disk cache. A disk hit
 // is promoted into the memo.
-func (e *Engine) lookup(key string) ([]byte, Source, bool) {
+func (e *Engine) lookup(ctx context.Context, key string) ([]byte, Source, bool) {
 	e.mu.Lock()
 	raw, ok := e.memo[key]
 	e.mu.Unlock()
@@ -134,7 +136,7 @@ func (e *Engine) lookup(key string) ([]byte, Source, bool) {
 		return raw, FromMemo, true
 	}
 	if e.cache != nil {
-		if raw, ok := e.cache.Get(key); ok {
+		if raw, ok := e.cache.Get(ctx, key); ok {
 			e.remember(key, raw)
 			return raw, FromCache, true
 		}
@@ -151,14 +153,14 @@ func (e *Engine) remember(key string, raw []byte) {
 // store records a freshly computed result in the memo and, best-effort,
 // the disk cache. Marshal failures (e.g. NaN scores) skip caching: the
 // caller still gets the in-memory value, only reuse is lost.
-func (e *Engine) store(key string, val any) {
+func (e *Engine) store(ctx context.Context, key string, val any) {
 	raw, err := json.Marshal(val)
 	if err != nil {
 		return
 	}
 	e.remember(key, raw)
 	if e.cache != nil {
-		_ = e.cache.Put(key, raw) // cache write failure is not a job failure
+		_ = e.cache.Put(ctx, key, raw) // cache write failure is not a job failure
 	}
 }
 
@@ -236,7 +238,7 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, er
 	var pending []Job[R]
 	for _, j := range uniq {
 		st.event(JobQueued, j.Key, FromRun, 0)
-		if raw, src, ok := e.lookup(j.Key); ok {
+		if raw, src, ok := e.lookup(ctx, j.Key); ok {
 			var r R
 			if err := json.Unmarshal(raw, &r); err == nil {
 				results[j.Key] = r
@@ -278,7 +280,14 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) (map[string]R, er
 				}
 				st.event(JobStarted, ij.job.Key, FromRun, 0)
 				start := time.Now()
-				val, src, err := execute(ctx, e, ij.job)
+				// One span per executed job: the "compute" segment of a
+				// distributed trace. With no span in ctx this is a nil
+				// no-op (see internal/obs).
+				sctx, span := obs.Start(ctx, "sweep.exec", obs.KindInternal)
+				span.SetAttr("key", ij.job.Key)
+				val, src, err := execute(sctx, e, ij.job)
+				span.SetAttr("source", string(src))
+				span.End(err)
 				st.event(JobDone, ij.job.Key, src, time.Since(start))
 				out <- outcome{idx: ij.idx, key: ij.job.Key, val: val, err: err}
 			}
@@ -347,7 +356,7 @@ func execute[R any](ctx context.Context, e *Engine, j Job[R]) (R, Source, error)
 			if uerr := json.Unmarshal(raw, &val); uerr == nil {
 				e.remember(j.Key, raw)
 				if e.cache != nil {
-					_ = e.cache.Put(j.Key, raw)
+					_ = e.cache.Put(ctx, j.Key, raw)
 				}
 				return val, FromRemote, nil
 			}
@@ -355,7 +364,7 @@ func execute[R any](ctx context.Context, e *Engine, j Job[R]) (R, Source, error)
 	}
 	val, err := runSafe(ctx, j)
 	if err == nil {
-		e.store(j.Key, val)
+		e.store(ctx, j.Key, val)
 	}
 	return val, FromRun, err
 }

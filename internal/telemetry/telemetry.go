@@ -125,6 +125,18 @@ type Event struct {
 	Workers int `json:"workers,omitempty"`
 	// Utilization is busy-time / (wall-time * workers) of a summary.
 	Utilization float64 `json:"utilization,omitempty"`
+	// Trace, Span, Parent, Status, and Node carry distributed-tracing
+	// identity on span events exported through internal/obs
+	// (SinkExporter). JSONL-only: the CSV column set is fixed, and all
+	// five are omitted from every non-span event, so pre-existing
+	// streams are byte-identical.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Status string `json:"status,omitempty"`
+	Node   string `json:"node,omitempty"`
+	// Attrs holds a span event's attributes.
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // Sink receives telemetry events. Implementations must be safe for
