@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race serve-smoke fabric-smoke obs-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
+.PHONY: ci vet lint lint-fixtures build test race serve-smoke fabric-smoke obs-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
 
 # ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
 # build everything, the full test suite under the race detector
@@ -15,15 +15,26 @@ GO ?= go
 # benchmark-trajectory gate against the committed baseline, and a short
 # fuzz smoke over the text-format parsers plus an invariant-checked
 # fig9 run.
-ci: vet lint build race serve-smoke fabric-smoke obs-smoke benchsmoke bench-gate fuzzsmoke
+ci: vet lint lint-fixtures build race serve-smoke fabric-smoke obs-smoke benchsmoke bench-gate fuzzsmoke
 
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's determinism/invariant analyzer over every package
-# (see internal/lint and DESIGN.md "Static analysis & invariants").
+# lint runs the repo's determinism/concurrency/invariant analyzer over
+# every package (see internal/lint and DESIGN.md "Static analysis &
+# invariants"). The cache under bin/ makes warm runs incremental: only
+# packages whose files (or intra-module deps) changed are re-analyzed.
+# Findings not in .smtlint-baseline.json fail; stale //smtlint:ignore
+# directives are findings too.
 lint:
-	$(GO) run ./cmd/smtlint ./...
+	$(GO) run ./cmd/smtlint -cache bin/lintcache -stats ./...
+
+# lint-fixtures runs the analyzer's own test suite: every rule against
+# its bad/ok fixture pair, the driver's cold/warm cache behaviour, and
+# TestRepoIsClean (the in-process form of `make lint`). -count=1 so the
+# fixtures re-run even when the package is cached.
+lint-fixtures:
+	$(GO) test -count=1 ./internal/lint/...
 
 build:
 	$(GO) build ./...

@@ -103,10 +103,10 @@ type Coordinator struct {
 	fed      *obs.Federator
 
 	mu       sync.Mutex
-	members  map[string]*member
-	ring     *Ring
-	affinity map[string]string
-	affOrder []string // affinity insertion order, for cap eviction
+	members  map[string]*member // guarded by mu
+	ring     *Ring              // guarded by mu
+	affinity map[string]string  // guarded by mu
+	affOrder []string           // guarded by mu; affinity insertion order, for cap eviction
 
 	reg            *obs.Registry
 	peersGauge     *obs.GaugeVec   // state
@@ -618,9 +618,9 @@ type storeLog struct {
 	backend sweep.Backend
 
 	mu   sync.Mutex
-	base uint64   // sequence number of log[0]; sequences start at 1
-	log  []string // most recent stored keys, oldest first
-	next uint64   // next sequence to assign (== total keys ever logged + 1)
+	base uint64   // guarded by mu; sequence number of log[0]; sequences start at 1
+	log  []string // guarded by mu; most recent stored keys, oldest first
+	next uint64   // guarded by mu; next sequence to assign (== total keys ever logged + 1)
 }
 
 // storeLogCap bounds the retained gossip window. A worker further than

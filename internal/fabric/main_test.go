@@ -1,0 +1,15 @@
+package fabric
+
+import (
+	"os"
+	"testing"
+
+	"smthill/internal/lint/leakcheck"
+)
+
+// TestMain gates the suite on goroutine leaks: worker heartbeat loops,
+// coordinator janitors, and store pollers must all stop with their
+// owners.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -26,7 +26,7 @@ const maxResultBytes = 32 << 20
 // throughout the package. All methods are safe for concurrent use.
 type MemStore struct {
 	mu sync.Mutex
-	m  map[string]json.RawMessage
+	m  map[string]json.RawMessage // guarded by mu
 }
 
 // NewMemStore returns an empty store.

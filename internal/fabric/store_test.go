@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -203,7 +204,7 @@ func TestStoreClientMarkKnownRevalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c.MarkKnown([]string{"same", "drift", "absent"})
+	c.MarkKnown(context.Background(), []string{"same", "drift", "absent"})
 	c.mu.Lock()
 	revalidated, refreshed := c.outcomes.With("revalidated").Value(), c.outcomes.With("refreshed").Value()
 	c.mu.Unlock()
@@ -223,10 +224,48 @@ func TestStoreClientMarkKnownRevalidates(t *testing.T) {
 		t.Errorf("KnownKeys = %d, want 3", c.KnownKeys())
 	}
 	// Re-gossip of known keys is a no-op (no second revalidation).
-	c.MarkKnown([]string{"same"})
+	c.MarkKnown(context.Background(), []string{"same"})
 	c.mu.Lock()
 	if c.outcomes.With("revalidated").Value() != revalidated {
 		t.Errorf("re-gossip revalidated again (%d)", c.outcomes.With("revalidated").Value())
 	}
 	c.mu.Unlock()
+}
+
+// TestStoreClientMarkKnownHonorsContext is the regression test for the
+// ctxprop fix: MarkKnown used to mint context.Background() internally,
+// so a worker shutting down mid-heartbeat could hang on revalidation
+// fetches nothing would ever cancel. The heartbeat's context now bounds
+// them: a cancelled ctx reaches the store client, the fetch aborts, and
+// the keys are still recorded for lazy access.
+func TestStoreClientMarkKnownHonorsContext(t *testing.T) {
+	remote := NewMemStore()
+	var hits int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fabric/v1/store", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		NewStoreServer(remote).ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	local := NewMemStore()
+	if err := local.Put(context.Background(), "held", json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	c := NewStoreClient(srv.URL, local, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.MarkKnown(ctx, []string{"held"})
+
+	if got := atomic.LoadInt32(&hits); got != 0 {
+		t.Errorf("cancelled MarkKnown still reached the store (%d request(s))", got)
+	}
+	if c.outcomes.With("net_error").Value() != 1 {
+		t.Errorf("net_error = %d, want 1 (aborted revalidation)", c.outcomes.With("net_error").Value())
+	}
+	if c.KnownKeys() != 1 {
+		t.Error("cancelled MarkKnown dropped the gossiped key; recording must not depend on the fetch")
+	}
 }

@@ -34,7 +34,7 @@ type StoreClient struct {
 	hc    *http.Client
 
 	mu    sync.Mutex
-	known map[string]bool // keys gossip says the store holds
+	known map[string]bool // guarded by mu; keys gossip says the store holds
 
 	reg      *obs.Registry
 	outcomes *obs.CounterVec // outcome
@@ -197,8 +197,11 @@ func (c *StoreClient) putRemote(ctx context.Context, key string, raw json.RawMes
 // ETag is the content hash, so the client recomputes it from its local
 // copy and a match costs only headers. Keys not held locally are just
 // remembered; they fetch lazily if the engine ever asks.
-func (c *StoreClient) MarkKnown(keys []string) {
-	ctx := context.Background()
+//
+// ctx bounds the revalidation fetches: it is the heartbeat's context,
+// so a worker shutting down mid-gossip abandons the network work
+// instead of hanging on it (the keys are still recorded).
+func (c *StoreClient) MarkKnown(ctx context.Context, keys []string) {
 	for _, key := range keys {
 		c.mu.Lock()
 		seen := c.known[key]

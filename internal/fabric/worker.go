@@ -78,7 +78,7 @@ type Worker struct {
 	hbVec   *obs.CounterVec // outcome
 
 	recentMu sync.Mutex
-	recent   []string
+	recent   []string // guarded by recentMu
 }
 
 // NewWorker builds a worker around an engine. Like the engine's other
@@ -328,7 +328,7 @@ func (w *Worker) Heartbeat(ctx context.Context) error {
 	w.hbVec.With("ok").Inc()
 	w.lastSeq.Store(resp.StoreSeq)
 	if w.store != nil && len(resp.NewKeys) > 0 {
-		w.store.MarkKnown(resp.NewKeys)
+		w.store.MarkKnown(ctx, resp.NewKeys)
 	}
 	return nil
 }

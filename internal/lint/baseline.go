@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline grandfathers known findings so new rules can land strict
+// without blocking on a repo-wide cleanup: `smtlint -write-baseline`
+// snapshots the current findings, the committed file suppresses exactly
+// those, and anything new still fails the build. Entries match on
+// (file, rule, message) — deliberately not on line, so edits elsewhere
+// in a file do not churn the baseline — and matching is a multiset:
+// three identical findings baseline three, a fourth fails.
+
+// Baseline is a committed set of grandfathered findings.
+type Baseline struct {
+	// Version is the format version (currently 1).
+	Version int `json:"version"`
+	// Findings are the grandfathered entries, sorted.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry matches findings by file, rule, and message.
+type BaselineEntry struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func baselineKey(file, rule, msg string) string {
+	return file + "\x00" + rule + "\x00" + msg
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, any other error is fatal (a corrupt baseline silently
+// suppressing nothing — or everything — must not pass).
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if base.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, base.Version)
+	}
+	return &base, nil
+}
+
+// Apply splits findings into the survivors and the baselined, consuming
+// baseline entries multiset-style.
+func (b *Baseline) Apply(findings []Finding) (kept, suppressed []Finding) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey(e.File, e.Rule, e.Msg)]++
+	}
+	for _, f := range findings {
+		k := baselineKey(f.Pos.Filename, f.Rule, f.Msg)
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed = append(suppressed, f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// WriteBaseline snapshots findings (paths must already be root-relative)
+// to path in sorted, stable form.
+func WriteBaseline(path string, findings []Finding) error {
+	base := Baseline{Version: 1}
+	for _, f := range findings {
+		base.Findings = append(base.Findings, BaselineEntry{File: f.Pos.Filename, Rule: f.Rule, Msg: f.Msg})
+	}
+	sort.Slice(base.Findings, func(i, j int) bool {
+		a, c := base.Findings[i], base.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	b, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

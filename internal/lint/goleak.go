@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakRule flags goroutines with no termination path: a `go` statement
+// whose body (a function literal, or the intra-package function it
+// calls) contains an infinite `for` loop with no way out — no return, no
+// break, no goto. Such a goroutine outlives every Shutdown, holds its
+// captures forever, and turns graceful drain into a hang; the serve
+// janitor, fabric heartbeat, and sweep feeder loops all carry a
+//
+//	select {
+//	case <-ctx.Done():
+//	    return
+//	...
+//	}
+//
+// arm for exactly this reason, and the lint/leakcheck test helper
+// enforces the same contract dynamically after each package's test
+// suite.
+//
+// The check is shallow and syntactic by design: loops with a bound
+// (`for cond {}`) and range loops (`for v := range ch` ends when the
+// channel closes) pass, and any reachable return/break/goto in the loop
+// body counts as a termination path, even a conditional one — the rule
+// catches the loop that *cannot* exit, not the one that merely might
+// not. Bodies of nested function literals are excluded when looking for
+// exits (their returns do not break the loop).
+type GoLeakRule struct {
+	// Packages selects where the rule applies (matchPackage semantics).
+	Packages []string
+}
+
+// NewGoLeakRule returns the project configuration: the layers that spawn
+// long-lived goroutines.
+func NewGoLeakRule() *GoLeakRule {
+	return &GoLeakRule{Packages: []string{
+		"internal/serve", "internal/fabric", "internal/sweep", "internal/obs", "internal/telemetry",
+	}}
+}
+
+// Name implements Rule.
+func (r *GoLeakRule) Name() string { return "goleak" }
+
+// Doc implements Rule.
+func (r *GoLeakRule) Doc() string {
+	return "a goroutine's infinite for-loop must have an exit (return/break) tied to a ctx or done channel"
+}
+
+// Check implements Rule.
+func (r *GoLeakRule) Check(p *Package) []Finding {
+	if !matchPackage(p.Path, r.Packages) {
+		return nil
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range funcDecls(p) {
+		if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+			decls[fn] = fd
+		}
+	}
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				// go s.worker(...): check the spawned function's own
+				// body when it is declared in this package.
+				if fn := callee(p, g.Call); fn != nil {
+					if d, ok := decls[fn]; ok {
+						body = d.Body
+					}
+				}
+			}
+			if body == nil {
+				return true
+			}
+			for _, loop := range endlessLoops(body) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(loop.Pos()),
+					Rule: r.Name(),
+					Msg:  "goroutine loops forever with no return or break; add a select arm on ctx.Done() (or a done channel) that returns, or justify with //smtlint:ignore goleak <reason>",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// endlessLoops returns the `for {}` loops in body (excluding nested
+// function literals) that contain no exit statement.
+func endlessLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasExit(loop.Body) {
+			out = append(out, loop)
+		}
+		return true
+	})
+	return out
+}
+
+// hasExit reports whether the loop body contains any return, break, or
+// goto outside nested function literals. Unlabeled breaks in nested
+// selects or switches technically exit only the inner statement, but
+// counting them errs toward silence — the rule hunts loops with no exit
+// at all.
+func hasExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				found = true
+				return false
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

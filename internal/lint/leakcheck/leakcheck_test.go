@@ -1,0 +1,56 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func block(id, fn string) string {
+	return "goroutine " + id + " [chan receive]:\n" + fn + "()\n\t/tmp/x.go:1 +0x10"
+}
+
+func TestLeaksInFiltersAndDiffs(t *testing.T) {
+	before := map[string]bool{"1": true, "7": true}
+	gs := []string{
+		block("1", "smthill/internal/serve.run"),                    // pre-existing: not a leak
+		block("9", "smthill/internal/fabric.heartbeat"),             // new + module frame: leak
+		block("10", "net/http.(*persistConn).readLoop"),             // new but not ours
+		block("11", selfMarker+".TestLeaksInFiltersAndDiffs.func1"), // leakcheck itself
+	}
+	got := leaksIn(gs, before)
+	if len(got) != 1 || !strings.Contains(got[0], "fabric.heartbeat") {
+		t.Fatalf("leaksIn = %v, want exactly the fabric goroutine", got)
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"goroutine 42 [running]:\nmain.main()", "42"},
+		{"goroutine 7 [chan receive, 3 minutes]:\nx()", "7"},
+		{"garbage with no header", "garbage with no header"},
+	}
+	for _, c := range cases {
+		if got := goroutineID(c.in); got != c.want {
+			t.Errorf("goroutineID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStacksSeesSelf(t *testing.T) {
+	gs := stacks()
+	if len(gs) == 0 {
+		t.Fatal("no goroutines captured")
+	}
+	var found bool
+	for _, g := range gs {
+		if strings.Contains(g, "TestStacksSeesSelf") {
+			found = true
+		}
+		if !strings.HasPrefix(g, "goroutine ") {
+			t.Errorf("block without header: %q", g)
+		}
+	}
+	if !found {
+		t.Error("current test goroutine missing from snapshot")
+	}
+}

@@ -34,6 +34,27 @@
 //     package — registration panics otherwise, but only when the
 //     registering component actually starts.
 //
+// The concurrency-correctness suite extends the determinism rules to the
+// service layers (serve worker pools, fabric heartbeats, obs federation),
+// whose bugs corrupt figures through races rather than through clocks:
+//
+//   - lockguard (lockguard.go): struct fields annotated "guarded by <mu>"
+//     may only be touched while that mutex is held on the same receiver
+//     expression; lexical Lock/Unlock dominance, with entry-held
+//     conventions for "Callers hold mu" docs, *Locked method names, and
+//     //smtlint:locked directives.
+//   - lockorder (lockorder.go, a ModuleRule): the whole-module
+//     lock-acquisition graph must be acyclic (cycles are potential
+//     deadlocks), and no lock class may be re-acquired while held
+//     (self-deadlock, including RLock→Lock upgrades).
+//   - ctxprop (ctxprop.go): code reachable from a context-carrying entry
+//     point in serve/fabric/sweep must not drop the caller's context —
+//     no context.Background()/TODO(), bare time.Sleep, or context-free
+//     HTTP requests on request paths.
+//   - goleak (goleak.go): a `go` statement whose body loops forever must
+//     have an exit tied to a context or done channel; the lint/leakcheck
+//     test helper enforces the same contract dynamically.
+//
 // Rules are individually constructable and configurable so tests can
 // point them at fixture packages; DefaultRules returns the project
 // configuration that cmd/smtlint enforces.
@@ -80,6 +101,16 @@ type Rule interface {
 	Check(p *Package) []Finding
 }
 
+// ModuleRule is a rule whose analysis spans package boundaries (the lock
+// acquisition graph crosses serve -> obs, for example). A ModuleRule's
+// per-package Check returns nil; Run and the driver call CheckModule once
+// with every loaded package.
+type ModuleRule interface {
+	Rule
+	// CheckModule analyzes the whole module at once.
+	CheckModule(pkgs []*Package) []Finding
+}
+
 // DefaultRules returns the project rule set cmd/smtlint enforces, with
 // the allowlists described in DESIGN.md.
 func DefaultRules() []Rule {
@@ -90,27 +121,128 @@ func DefaultRules() []Rule {
 		NewFloatCompareRule(),
 		NewHotAllocRule(),
 		NewMetricNameRule(),
+		NewLockGuardRule(),
+		NewLockOrderRule(),
+		NewCtxPropRule(),
+		NewGoLeakRule(),
 	}
 }
 
-// Run applies every rule to every package and returns the surviving
-// findings sorted by position. Findings on a line carrying (or directly
-// following a line carrying) an "//smtlint:ignore <rule>" directive are
-// dropped.
+// Directive is one //smtlint:ignore comment, addressed by position and
+// the rule name as written (possibly "*").
+type Directive struct {
+	// File is the directive's filename as recorded in the file set.
+	File string `json:"file"`
+	// Line is the directive's 1-based line.
+	Line int `json:"line"`
+	// Rule is the rule name the directive names, or "*".
+	Rule string `json:"rule"`
+	// Col is the directive's column, for stale-directive findings.
+	Col int `json:"col"`
+}
+
+// Key renders the directive's identity for used-set bookkeeping.
+func (d Directive) Key() string {
+	return fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Rule)
+}
+
+// Run applies every rule (per-package and module-wide) to the packages
+// and returns the surviving findings sorted by position. Findings on a
+// line carrying (or directly following a line carrying) an
+// "//smtlint:ignore <rule>" directive are dropped.
 func Run(rules []Rule, pkgs []*Package) []Finding {
+	used := map[string]bool{}
 	var out []Finding
 	for _, p := range pkgs {
-		ignored := ignoreDirectives(p)
-		for _, r := range rules {
-			for _, f := range r.Check(p) {
-				if ignored[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}] ||
-					ignored[ignoreKey{f.Pos.Filename, f.Pos.Line, "*"}] {
-					continue
-				}
-				out = append(out, f)
-			}
+		fs, _ := CheckPackage(rules, p, used)
+		out = append(out, fs...)
+	}
+	out = append(out, CheckModuleRules(rules, pkgs, used)...)
+	SortFindings(out)
+	return out
+}
+
+// RunAudit is Run plus the unusedignore audit: directives that suppressed
+// no finding across the whole run come back as findings of rule
+// "unusedignore", so stale justifications fail the build like any other
+// violation.
+func RunAudit(rules []Rule, pkgs []*Package) []Finding {
+	used := map[string]bool{}
+	var out []Finding
+	var all []Directive
+	for _, p := range pkgs {
+		fs, dirs := CheckPackage(rules, p, used)
+		out = append(out, fs...)
+		all = append(all, dirs...)
+	}
+	out = append(out, CheckModuleRules(rules, pkgs, used)...)
+	out = append(out, StaleDirectives(all, used)...)
+	SortFindings(out)
+	return out
+}
+
+// CheckPackage applies the per-package rules to p, filters the findings
+// through p's ignore directives, and returns the survivors along with
+// every directive in the package. Directives that suppressed at least
+// one finding are recorded in used (keyed by Directive.Key); pass nil to
+// skip the bookkeeping.
+func CheckPackage(rules []Rule, p *Package, used map[string]bool) ([]Finding, []Directive) {
+	dirs := Directives(p)
+	idx := buildIgnoreIndex(dirs)
+	var out []Finding
+	for _, r := range rules {
+		if _, isModule := r.(ModuleRule); isModule {
+			continue
+		}
+		out = append(out, filterFindings(r.Check(p), dirs, idx, used)...)
+	}
+	return out, dirs
+}
+
+// CheckModuleRules applies the module-wide rules once over all packages,
+// filtering findings through the directives of every package.
+func CheckModuleRules(rules []Rule, pkgs []*Package, used map[string]bool) []Finding {
+	var mods []ModuleRule
+	for _, r := range rules {
+		if mr, ok := r.(ModuleRule); ok {
+			mods = append(mods, mr)
 		}
 	}
+	if len(mods) == 0 {
+		return nil
+	}
+	var dirs []Directive
+	for _, p := range pkgs {
+		dirs = append(dirs, Directives(p)...)
+	}
+	idx := buildIgnoreIndex(dirs)
+	var out []Finding
+	for _, mr := range mods {
+		out = append(out, filterFindings(mr.CheckModule(pkgs), dirs, idx, used)...)
+	}
+	return out
+}
+
+// StaleDirectives returns an "unusedignore" finding for every directive
+// in all whose key is absent from used: an ignore that suppresses
+// nothing is a stale justification and must be deleted.
+func StaleDirectives(all []Directive, used map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range all {
+		if used[d.Key()] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
+			Rule: "unusedignore",
+			Msg:  fmt.Sprintf("//smtlint:ignore %s directive suppresses no finding; delete it (or fix the rule name)", d.Rule),
+		})
+	}
+	return out
+}
+
+// SortFindings orders findings by file, line, column, then rule.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -124,7 +256,6 @@ func Run(rules []Rule, pkgs []*Package) []Finding {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
 }
 
 // ignoreKey addresses one suppressed (file, line, rule) combination.
@@ -134,12 +265,42 @@ type ignoreKey struct {
 	rule string
 }
 
-// ignoreDirectives collects the package's "//smtlint:ignore" comments. A
-// directive suppresses the named rule (or "*" for any rule) on its own
-// line and on the following line, so it works both trailing a statement
-// and on the line above it.
-func ignoreDirectives(p *Package) map[ignoreKey]bool {
-	out := map[ignoreKey]bool{}
+// buildIgnoreIndex maps each (file, line, rule) an ignore directive
+// covers — its own line and the following line, so it works both
+// trailing a statement and on the line above it — to the directive's
+// index in dirs.
+func buildIgnoreIndex(dirs []Directive) map[ignoreKey]int {
+	idx := map[ignoreKey]int{}
+	for i, d := range dirs {
+		idx[ignoreKey{d.File, d.Line, d.Rule}] = i
+		idx[ignoreKey{d.File, d.Line + 1, d.Rule}] = i
+	}
+	return idx
+}
+
+// filterFindings drops findings covered by a matching (or wildcard)
+// directive, marking the covering directive used.
+func filterFindings(fs []Finding, dirs []Directive, idx map[ignoreKey]int, used map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		i, ok := idx[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}]
+		if !ok {
+			i, ok = idx[ignoreKey{f.Pos.Filename, f.Pos.Line, "*"}]
+		}
+		if ok {
+			if used != nil {
+				used[dirs[i].Key()] = true
+			}
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Directives collects the package's "//smtlint:ignore" comments.
+func Directives(p *Package) []Directive {
+	var out []Directive
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -154,8 +315,7 @@ func ignoreDirectives(p *Package) map[ignoreKey]bool {
 					rule = fields[0]
 				}
 				pos := p.Fset.Position(c.Pos())
-				out[ignoreKey{pos.Filename, pos.Line, rule}] = true
-				out[ignoreKey{pos.Filename, pos.Line + 1, rule}] = true
+				out = append(out, Directive{File: pos.Filename, Line: pos.Line, Rule: rule, Col: pos.Column})
 			}
 		}
 	}

@@ -1,0 +1,575 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// This file is the shared substrate of the lock rules: a lexical tracker
+// that walks a function body statement by statement maintaining the set
+// of mutexes held at each point, in the style of recorder.go's
+// nil-guard dominance walker. Both lockguard (field accesses must be
+// dominated by the right Lock) and lockorder (the cross-function
+// acquisition graph must be acyclic) drive it through callbacks.
+//
+// The tracker is lexical, not path-sensitive: a lock acquired inside a
+// conditional branch is forgotten when the branch ends, and a deferred
+// Unlock keeps the mutex held to the end of the function. Goroutine
+// bodies start with an empty lock set (the spawner's locks are not
+// ordered with respect to the goroutine), while function literals passed
+// as call arguments inherit the current set (the synchronous-callback
+// assumption: sort.Slice and friends run the closure before returning).
+
+// heldLock describes one held mutex.
+type heldLock struct {
+	// mode is 'w' for Lock, 'r' for RLock.
+	mode byte
+	// class is the module-wide lock-class identity ("pkg.Type.field" or
+	// "pkg.var"), or "" for locals and parameters.
+	class string
+}
+
+// lockTracker walks one function body tracking the held-lock set.
+type lockTracker struct {
+	p     *Package
+	held  map[string]heldLock // mutex exprString -> held state
+	fresh map[string]bool     // locals created from composite literals, not yet escaped
+	inGo  int                 // >0 while scanning a `go` statement's call (and body)
+
+	// onAccess fires for every selector expression (field reads and
+	// writes, including selector bases of deeper chains).
+	onAccess func(w *lockTracker, sel *ast.SelectorExpr, write bool)
+	// onAcquire fires on Lock/RLock, before held is updated, so the
+	// callback sees the locks held across the acquisition.
+	onAcquire func(w *lockTracker, expr string, l heldLock, pos token.Pos)
+	// onCall fires for every non-lock call expression with the current
+	// held set live in w.held.
+	onCall func(w *lockTracker, call *ast.CallExpr)
+}
+
+func newLockTracker(p *Package) *lockTracker {
+	return &lockTracker{p: p, held: map[string]heldLock{}, fresh: map[string]bool{}}
+}
+
+// walkFunc analyzes body with the given entry-held set (nil for none).
+func (w *lockTracker) walkFunc(body *ast.BlockStmt, entry map[string]heldLock) {
+	w.held = map[string]heldLock{}
+	for k, v := range entry {
+		w.held[k] = v
+	}
+	w.fresh = map[string]bool{}
+	w.stmts(body.List)
+}
+
+func (w *lockTracker) snapshot() (map[string]heldLock, map[string]bool) {
+	h := make(map[string]heldLock, len(w.held))
+	for k, v := range w.held {
+		h[k] = v
+	}
+	f := make(map[string]bool, len(w.fresh))
+	for k, v := range w.fresh {
+		f[k] = v
+	}
+	return h, f
+}
+
+func (w *lockTracker) restore(h map[string]heldLock, f map[string]bool) {
+	w.held, w.fresh = h, f
+}
+
+func (w *lockTracker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockTracker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, false)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, true)
+	case *ast.DeferStmt:
+		if mu, method, ok := asLockOp(w.p, s.Call); ok {
+			// defer mu.Unlock() keeps the lock held to function end;
+			// defer mu.Lock() is nonsense and ignored.
+			if method == "Lock" || method == "RLock" {
+				return
+			}
+			w.scanExpr(mu, false)
+			return
+		}
+		// A deferred closure runs at return, usually with whatever the
+		// function still holds; approximate with the current set.
+		w.scanExpr(s.Call, false)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: it starts with no locks of
+		// its own, and the spawner's locks impose no ordering on it.
+		h, f := w.snapshot()
+		w.held = map[string]heldLock{}
+		w.fresh = map[string]bool{}
+		w.inGo++
+		w.scanExpr(s.Call, false)
+		w.inGo--
+		w.restore(h, f)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, false)
+		w.scanExpr(s.Value, false)
+		w.killFresh(s.Value)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, false)
+			w.killFresh(r)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.scanExpr(s.Cond, false)
+		h, f := w.snapshot()
+		w.stmts(s.Body.List)
+		w.restore(h, f)
+		if s.Else != nil {
+			h, f = w.snapshot()
+			w.stmt(s.Else)
+			w.restore(h, f)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.scanExpr(s.Cond, false)
+		h, f := w.snapshot()
+		w.stmts(s.Body.List)
+		w.stmt(s.Post)
+		w.restore(h, f)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, false)
+		h, f := w.snapshot()
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				delete(w.fresh, id.Name)
+			}
+		}
+		w.stmts(s.Body.List)
+		w.restore(h, f)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.scanExpr(s.Tag, false)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			h, f := w.snapshot()
+			for _, e := range cc.List {
+				w.scanExpr(e, false)
+			}
+			w.stmts(cc.Body)
+			w.restore(h, f)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			h, f := w.snapshot()
+			w.stmts(cc.Body)
+			w.restore(h, f)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			h, f := w.snapshot()
+			w.stmt(cc.Comm)
+			w.stmts(cc.Body)
+			w.restore(h, f)
+		}
+	case *ast.BlockStmt:
+		// Plain blocks do not scope locks: an acquisition inside persists.
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, false)
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && isCompositeCreation(vs.Values[i]) {
+							w.fresh[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// assign scans an assignment: RHS reads, LHS writes, freshness updates.
+func (w *lockTracker) assign(s *ast.AssignStmt) {
+	for _, rhs := range s.Rhs {
+		w.scanExpr(rhs, false)
+	}
+	oneToOne := len(s.Lhs) == len(s.Rhs)
+	for i, lhs := range s.Lhs {
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			if oneToOne && isCompositeCreation(s.Rhs[i]) {
+				w.fresh[l.Name] = true
+			} else {
+				delete(w.fresh, l.Name)
+			}
+		default:
+			w.scanExpr(lhs, true)
+		}
+	}
+	// A fresh local copied wholesale to another variable has aliased:
+	// stop exempting it.
+	for _, rhs := range s.Rhs {
+		w.killFresh(rhs)
+	}
+}
+
+// killFresh drops the freshness of e when it is a bare local (or its
+// address): passing it to a call, returning it, sending it, or aliasing
+// it publishes the value to code that may run under different locks.
+func (w *lockTracker) killFresh(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		delete(w.fresh, e.Name)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			w.killFresh(e.X)
+		}
+	case *ast.ParenExpr:
+		w.killFresh(e.X)
+	}
+}
+
+// isCompositeCreation reports whether e constructs a value in place:
+// T{...} or &T{...}.
+func isCompositeCreation(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	_, ok := e.(*ast.CompositeLit)
+	return ok
+}
+
+// scanExpr walks an expression, firing access/call hooks and applying
+// lock operations encountered along the way. write marks e itself as a
+// store target (assignment LHS, IncDec operand, address-taken selector).
+func (w *lockTracker) scanExpr(e ast.Expr, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		w.scanExpr(e.X, false)
+		if w.onAccess != nil {
+			w.onAccess(w, e, write)
+		}
+	case *ast.CallExpr:
+		if mu, method, ok := asLockOp(w.p, e); ok {
+			w.lockOp(mu, method)
+			return
+		}
+		w.scanExpr(e.Fun, false)
+		for _, a := range e.Args {
+			if fl, ok := a.(*ast.FuncLit); ok {
+				// Synchronous-callback assumption: the callee runs the
+				// closure before returning, under the current locks.
+				h, f := w.snapshot()
+				w.stmts(fl.Body.List)
+				w.restore(h, f)
+				continue
+			}
+			w.scanExpr(a, false)
+			w.killFresh(a)
+		}
+		if w.onCall != nil {
+			w.onCall(w, e)
+		}
+	case *ast.FuncLit:
+		// A closure not in call position runs later, with no claim on
+		// the current lock set.
+		h, f := w.snapshot()
+		w.held = map[string]heldLock{}
+		w.fresh = map[string]bool{}
+		w.stmts(e.Body.List)
+		w.restore(h, f)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			switch e.X.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				// Handing out the address lets the recipient mutate.
+				w.scanExpr(e.X, true)
+				return
+			}
+		}
+		w.scanExpr(e.X, false)
+	case *ast.StarExpr:
+		w.scanExpr(e.X, false)
+	case *ast.ParenExpr:
+		w.scanExpr(e.X, write)
+	case *ast.IndexExpr:
+		w.scanExpr(e.X, write)
+		w.scanExpr(e.Index, false)
+	case *ast.SliceExpr:
+		w.scanExpr(e.X, false)
+		w.scanExpr(e.Low, false)
+		w.scanExpr(e.High, false)
+		w.scanExpr(e.Max, false)
+	case *ast.BinaryExpr:
+		w.scanExpr(e.X, false)
+		w.scanExpr(e.Y, false)
+	case *ast.TypeAssertExpr:
+		w.scanExpr(e.X, false)
+	case *ast.KeyValueExpr:
+		w.scanExpr(e.Value, false)
+		w.killFresh(e.Value)
+	case *ast.CompositeLit:
+		structLit := false
+		if tv, ok := w.p.Info.Types[e]; ok && tv.Type != nil {
+			_, structLit = derefType(tv.Type).Underlying().(*types.Struct)
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if !structLit {
+					w.scanExpr(kv.Key, false)
+				}
+				w.scanExpr(kv.Value, false)
+				w.killFresh(kv.Value)
+				continue
+			}
+			w.scanExpr(el, false)
+			w.killFresh(el)
+		}
+	}
+}
+
+// lockOp applies a Lock/RLock/Unlock/RUnlock on the mutex expression.
+func (w *lockTracker) lockOp(mu ast.Expr, method string) {
+	w.scanExpr(mu, false)
+	key := exprString(mu)
+	switch method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		mode := byte('w')
+		if method == "RLock" || method == "TryRLock" {
+			mode = 'r'
+		}
+		l := heldLock{mode: mode, class: lockClass(w.p, mu)}
+		if w.onAcquire != nil {
+			w.onAcquire(w, key, l, mu.Pos())
+		}
+		w.held[key] = l
+	case "Unlock", "RUnlock":
+		delete(w.held, key)
+	}
+}
+
+// asLockOp recognizes a call as a sync.Mutex/RWMutex lock-family method
+// on an explicit receiver expression, returning the mutex expression and
+// method name. Embedded (promoted) mutex methods are not recognized —
+// the project convention is a named mu field.
+func asLockOp(p *Package, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	n, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isRWMutexType reports whether t is sync.RWMutex (possibly behind a
+// pointer).
+func isRWMutexType(t types.Type) bool {
+	n, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "RWMutex"
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// lockClass computes the module-wide identity of a mutex expression:
+// "pkg.Type.field" for a struct field, "pkg.var" for a package-level
+// variable, "" for locals and parameters (which cannot participate in a
+// cross-function ordering).
+func lockClass(p *Package, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lockClass(p, e.X)
+	case *ast.Ident:
+		v, ok := p.Info.Uses[e].(*types.Var)
+		if ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		selInfo, ok := p.Info.Selections[e]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			// Could be a qualified package-level var: pkg.someMu.
+			if obj, ok := p.Info.Uses[e.Sel].(*types.Var); ok && !obj.IsField() &&
+				obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return ""
+		}
+		f, ok := selInfo.Obj().(*types.Var)
+		if !ok {
+			return ""
+		}
+		if named, ok := derefType(selInfo.Recv()).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + f.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// callersHoldRe matches the doc convention "Callers hold mu." (and the
+// singular/must variants) that fabric and sweep already use.
+var callersHoldRe = regexp.MustCompile(`(?i)\bcallers?\s+(?:must\s+)?holds?\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockedDirectiveRe matches the explicit //smtlint:locked <mu> directive.
+var lockedDirectiveRe = regexp.MustCompile(`^smtlint:locked\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+// entryHeldLocks returns the lock set a function's callers are
+// documented to hold on entry, keyed by "<recv>.<mu>" (or "<mu>" for a
+// package-level mutex). Three conventions grant entry-held state:
+//
+//   - a doc sentence matching "Callers hold <mu>",
+//   - a "//smtlint:locked <mu>" doc line,
+//   - a method name ending in "Locked", which grants every mutex field
+//     of the receiver type.
+func entryHeldLocks(p *Package, fd *ast.FuncDecl) map[string]heldLock {
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	var names []string
+	if fd.Doc != nil {
+		for _, m := range callersHoldRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			names = append(names, m[1])
+		}
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if m := lockedDirectiveRe.FindStringSubmatch(text); m != nil {
+				names = append(names, m[1])
+			}
+		}
+	}
+	if recv != "" && strings.HasSuffix(fd.Name.Name, "Locked") {
+		names = append(names, mutexFieldNames(p, fd)...)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	out := map[string]heldLock{}
+	for _, n := range names {
+		key := n
+		class := ""
+		if recv != "" {
+			if cls, ok := recvMutexClass(p, fd, n); ok {
+				key, class = recv+"."+n, cls
+			}
+		}
+		if key == n {
+			// Fall back to a package-level mutex of that name.
+			if v, ok := p.Types.Scope().Lookup(n).(*types.Var); ok && isMutexType(v.Type()) {
+				class = p.Types.Name() + "." + n
+			}
+		}
+		out[key] = heldLock{mode: 'w', class: class}
+	}
+	return out
+}
+
+// recvMutexClass resolves mutex field name on fd's receiver type to its
+// lock class.
+func recvMutexClass(p *Package, fd *ast.FuncDecl, name string) (string, bool) {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	named, ok := derefType(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && isMutexType(f.Type()) {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + name, true
+		}
+	}
+	return "", false
+}
+
+// mutexFieldNames lists the mutex-typed field names of fd's receiver
+// struct type.
+func mutexFieldNames(p *Package, fd *ast.FuncDecl) []string {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named, ok := derefType(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Minimal SARIF 2.1.0 output so findings land in code-review UIs
+// (GitHub code scanning, VS Code SARIF viewers) without any dependency:
+// one run, one tool, one result per finding, physical locations with
+// root-relative URIs.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Rules          []sarifRuleMeta `json:"rules"`
+}
+
+type sarifRuleMeta struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. Rule metadata comes
+// from rules; findings for rules outside the set (unusedignore) get a
+// synthesized entry.
+func WriteSARIF(w io.Writer, rules []Rule, findings []Finding) error {
+	metaByID := map[string]string{}
+	var ids []string
+	for _, r := range rules {
+		if _, ok := metaByID[r.Name()]; !ok {
+			ids = append(ids, r.Name())
+		}
+		metaByID[r.Name()] = r.Doc()
+	}
+	for _, f := range findings {
+		if _, ok := metaByID[f.Rule]; !ok {
+			ids = append(ids, f.Rule)
+			metaByID[f.Rule] = "synthesized rule (no registered metadata)"
+		}
+	}
+	var metas []sarifRuleMeta
+	for _, id := range ids {
+		metas = append(metas, sarifRuleMeta{ID: id, ShortDescription: sarifMessage{Text: metaByID[id]}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "smtlint", Rules: metas}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

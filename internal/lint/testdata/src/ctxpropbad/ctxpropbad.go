@@ -1,0 +1,48 @@
+// Package ctxpropbad exercises every context-drop shape on paths
+// reachable from a ctx-carrying entry point.
+package ctxpropbad
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Handle is a root: it receives the caller's context.
+func Handle(ctx context.Context, c *http.Client) error {
+	wait()
+	return fetch(c)
+}
+
+func wait() {
+	time.Sleep(time.Millisecond)
+}
+
+func fetch(c *http.Client) error {
+	ctx := context.Background()
+	_ = ctx
+	req, err := http.NewRequest("GET", "http://localhost/x", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// ServeIt is a root through its *http.Request parameter.
+func ServeIt(w http.ResponseWriter, r *http.Request, c *http.Client) {
+	resp, err := c.Get("http://localhost/y")
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// Boot owns a fresh context: no ctx parameter, unreachable from roots,
+// so its Background() is legitimate and must stay silent.
+func Boot() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,44 @@
+// Package ctxpropok holds the fixed forms: the context threads through
+// every hop of the request path.
+package ctxpropok
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Handle is a root: it receives and propagates the caller's context.
+func Handle(ctx context.Context, c *http.Client) error {
+	if err := wait(ctx); err != nil {
+		return err
+	}
+	return fetch(ctx, c)
+}
+
+func wait(ctx context.Context) error {
+	select {
+	case <-time.After(time.Millisecond):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func fetch(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://localhost/x", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Boot owns a fresh context: no ctx parameter means no caller context to
+// drop.
+func Boot() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,19 @@
+// Package goleakbad exercises the leak shapes: goroutines whose loops
+// have no exit at all.
+package goleakbad
+
+// Start spawns two unkillable goroutines.
+func Start(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+	go pump(tick)
+}
+
+func pump(tick func()) {
+	for {
+		tick()
+	}
+}

@@ -1,0 +1,52 @@
+// Package goleakok holds the fixed forms: every spawned loop has a
+// termination path.
+package goleakok
+
+import "context"
+
+// Start spawns goroutines whose lifetimes are tied to ctx or channel
+// closure.
+func Start(ctx context.Context, ch chan int, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+				tick()
+			}
+		}
+	}()
+	go func() {
+		for range ch {
+			tick()
+		}
+	}()
+	go func() {
+		for i := 0; i < 3; i++ {
+			tick()
+		}
+	}()
+	go drain(ch, tick)
+}
+
+func drain(ch chan int, tick func()) {
+	for {
+		_, ok := <-ch
+		if !ok {
+			return
+		}
+		tick()
+	}
+}
+
+// pump loops forever but is never spawned with go: callers own the
+// blocking decision.
+func pump(tick func()) {
+	for {
+		tick()
+	}
+}
+
+var _ = pump

@@ -1,0 +1,44 @@
+// Package lockguardbad exercises every lockguard violation shape.
+package lockguardbad
+
+import "sync"
+
+// Store is a shared table with annotated guards.
+type Store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	jobs map[string]int // guarded by mu
+	hits int            // guarded by rw
+	oops int            // guarded by nosuch
+}
+
+func (s *Store) Get(k string) int {
+	return s.jobs[k] // read with no lock at all
+}
+
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.jobs[k] = v // write after the unlock
+}
+
+func (s *Store) Bump() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.hits++ // write under RLock only
+}
+
+func (s *Store) MaybeGuarded(cond bool, k string) int {
+	if cond {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.jobs[k] // branch-only lock does not dominate
+}
+
+func (s *Store) WrongLock(k string, v int) {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	s.jobs[k] = v // holds rw, but jobs is guarded by mu
+}

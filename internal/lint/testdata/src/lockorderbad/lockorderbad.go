@@ -1,0 +1,70 @@
+// Package lockorderbad exercises every lockorder deadlock shape.
+package lockorderbad
+
+import "sync"
+
+// A is one lock class.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+// B is another lock class.
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TakeAB nests B.mu inside A.mu.
+func TakeAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// TakeBA nests A.mu inside B.mu, through a call: the cycle.
+func TakeBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a)
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// R has an upgradeable lock.
+type R struct {
+	rw sync.RWMutex
+	n  int
+}
+
+// Upgrade takes Lock while holding RLock.
+func Upgrade(r *R) {
+	r.rw.RLock()
+	r.rw.Lock()
+	r.n++
+	r.rw.Unlock()
+	r.rw.RUnlock()
+}
+
+// Twice re-acquires a held mutex.
+func Twice(a *A) {
+	a.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Pair nests two instances of the same class.
+func Pair(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.n, x.n = x.n, y.n
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+// Package lockorderok holds the fixed forms: one global acquisition
+// order, sequential (not nested) same-class locking, and goroutines
+// that start from an empty lock set.
+package lockorderok
+
+import "sync"
+
+// A is acquired before B everywhere.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+// B is the inner lock class.
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TakeAB nests in the global order.
+func TakeAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// AlsoAB locks sequentially: release before the next class.
+func AlsoAB(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// bump increments; callers hold mu.
+func (a *A) bump() {
+	a.n++
+}
+
+// Spawn acquires A.mu on a fresh goroutine while holding B.mu: the
+// spawner's lock imposes no ordering on the goroutine, so no B->A edge.
+func Spawn(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		a.mu.Lock()
+		a.n++
+		a.mu.Unlock()
+	}()
+}
+
+// Reenter calls the entry-held helper without re-locking.
+func Reenter(a *A) {
+	a.mu.Lock()
+	a.bump()
+	a.mu.Unlock()
+}

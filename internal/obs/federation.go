@@ -28,7 +28,7 @@ type Federator struct {
 	client *http.Client
 
 	mu    sync.Mutex
-	nodes map[string]*nodeScrape
+	nodes map[string]*nodeScrape // guarded by mu
 }
 
 type nodeScrape struct {

@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"os"
+	"testing"
+
+	"smthill/internal/lint/leakcheck"
+)
+
+// TestMain gates the suite on goroutine leaks: federation scrapers and
+// registry subscription fan-out must terminate with their owners.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -25,8 +25,8 @@ import (
 // `metricname` rule flags both statically).
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*metricFamily
-	subs     []*Registry
+	families map[string]*metricFamily // guarded by mu
+	subs     []*Registry              // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -51,7 +51,7 @@ type metricFamily struct {
 	fn     func() float64
 
 	mu     sync.Mutex
-	series map[string]*metricSeries
+	series map[string]*metricSeries // guarded by mu
 }
 
 type metricSeries struct {
@@ -59,7 +59,7 @@ type metricSeries struct {
 	counter   atomic.Uint64
 	gaugeBits atomic.Uint64
 	histMu    sync.Mutex
-	hist      telemetry.Hist
+	hist      telemetry.Hist // guarded by histMu
 }
 
 // Counter is a monotonically increasing uint64 metric.

@@ -141,9 +141,9 @@ type SpanData struct {
 type Span struct {
 	tr      *Tracer
 	mu      sync.Mutex
-	data    SpanData
-	sampled bool
-	ended   bool
+	data    SpanData // guarded by mu
+	sampled bool     // immutable after start
+	ended   bool     // guarded by mu
 }
 
 // Context returns the span's propagation identity for headers and
@@ -153,6 +153,8 @@ func (s *Span) Context() SpanContext {
 	if s == nil {
 		return SpanContext{}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return SpanContext{Trace: s.data.Trace, Span: s.data.Span, Sampled: s.sampled}
 }
 
@@ -282,9 +284,9 @@ type Tracer struct {
 	roots atomic.Uint64
 
 	mu   sync.Mutex
-	ring []SpanData // fixed capacity, overwritten circularly
-	next int
-	size int
+	ring []SpanData // guarded by mu; fixed capacity, overwritten circularly
+	next int        // guarded by mu
+	size int        // guarded by mu
 }
 
 // NewTracer returns a tracer with cfg's caps applied.

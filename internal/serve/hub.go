@@ -21,11 +21,11 @@ type hubEvent struct {
 // subscribers: consumers pull at their own pace via next.
 type hub struct {
 	mu      sync.Mutex
-	max     int
-	base    int // id of events[0]
-	events  []hubEvent
-	waiters []chan struct{}
-	closed  bool
+	max     int             // immutable after newHub
+	base    int             // guarded by mu; id of events[0]
+	events  []hubEvent      // guarded by mu
+	waiters []chan struct{} // guarded by mu
+	closed  bool            // guarded by mu
 }
 
 // newHub returns a hub retaining at most max events (<=0 selects a

@@ -1,0 +1,15 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"smthill/internal/lint/leakcheck"
+)
+
+// TestMain gates the suite on goroutine leaks: watchers, hub
+// broadcasters, and job runners must all drain when their server or
+// context shuts down.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -11,10 +11,10 @@ import (
 // misbehaving client without globally throttling the daemon.
 type limiter struct {
 	mu      sync.Mutex
-	rate    float64 // tokens per second
-	burst   float64 // bucket capacity
+	rate    float64 // immutable; tokens per second
+	burst   float64 // immutable; bucket capacity
 	now     func() time.Time
-	clients map[string]*clientBucket
+	clients map[string]*clientBucket // guarded by mu
 }
 
 type clientBucket struct {

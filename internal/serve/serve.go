@@ -190,7 +190,7 @@ type Server struct {
 	// keyMu guards the sweep-key -> watching-jobs index used to route
 	// engine observer events to job hubs.
 	keyMu    sync.Mutex
-	watchers map[string]map[*job]struct{}
+	watchers map[string]map[*job]struct{} // guarded by keyMu
 
 	// expMu serialises experiment jobs: experiment's engine/context
 	// installation is process-global, so at most one named experiment

@@ -72,14 +72,14 @@ type job struct {
 	trace obs.SpanContext
 
 	mu       sync.Mutex
-	state    JobState
-	source   sweep.Source // where a sim result came from (run/memo/cache)
-	result   *simjob.Result
-	output   string // experiment text output
-	errMsg   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	state    JobState       // guarded by mu
+	source   sweep.Source   // guarded by mu; where a sim result came from (run/memo/cache)
+	result   *simjob.Result // guarded by mu
+	output   string         // guarded by mu; experiment text output
+	errMsg   string         // guarded by mu
+	created  time.Time      // guarded by mu
+	started  time.Time      // guarded by mu
+	finished time.Time      // guarded by mu
 }
 
 // setRunning transitions queued -> running and announces it on the hub.
@@ -170,8 +170,8 @@ func (j *job) snapshot() (state JobState, source sweep.Source, result *simjob.Re
 // readable.
 type store struct {
 	mu   sync.Mutex
-	seq  int
-	jobs map[string]*job
+	seq  int             // guarded by mu
+	jobs map[string]*job // guarded by mu
 }
 
 func newStore() *store {

@@ -20,11 +20,11 @@ type Meter struct {
 	// mu guards the accumulators: the engine serialises Observe calls,
 	// but Summarize is called from the coordinating goroutine.
 	mu        sync.Mutex
-	started   time.Time
-	last      time.Time
-	jobs      int
-	cacheHits int
-	busy      time.Duration
+	started   time.Time     // guarded by mu
+	last      time.Time     // guarded by mu
+	jobs      int           // guarded by mu
+	cacheHits int           // guarded by mu
+	busy      time.Duration // guarded by mu
 }
 
 // NewMeter returns a meter emitting to sink for an engine running

@@ -67,7 +67,7 @@ type Engine struct {
 	observers []func(Event)
 
 	mu   sync.Mutex
-	memo map[string][]byte // job key -> JSON result
+	memo map[string][]byte // guarded by mu; job key -> JSON result
 
 	// eventMu serialises observer callbacks engine-wide, so an observer
 	// needs no locking even when Run calls overlap.
@@ -169,10 +169,10 @@ func (e *Engine) store(ctx context.Context, key string, val any) {
 type batch struct {
 	mu        *sync.Mutex
 	emit      func(Event)
-	total     int
-	running   int
-	done      int
-	cacheHits int
+	total     int // immutable after newBatch
+	running   int // guarded by mu
+	done      int // guarded by mu
+	cacheHits int // guarded by mu
 }
 
 func (b *batch) event(kind EventKind, key string, src Source, dur time.Duration) {

@@ -150,9 +150,9 @@ type Sink interface {
 // are emitted sorted, so equal events marshal to equal bytes.
 type JSONLSink struct {
 	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
+	bw  *bufio.Writer // guarded by mu
+	enc *json.Encoder // guarded by mu
+	err error         // guarded by mu
 }
 
 // NewJSONL returns a JSONL sink writing to w. Call Close to flush.
@@ -194,9 +194,9 @@ var csvHeader = []string{
 // summaries are JSONL-only).
 type CSVSink struct {
 	mu     sync.Mutex
-	w      *csv.Writer
-	header bool
-	err    error
+	w      *csv.Writer // guarded by mu
+	header bool        // guarded by mu
+	err    error       // guarded by mu
 }
 
 // NewCSV returns a CSV sink writing to w. Call Close to flush.
@@ -266,7 +266,7 @@ func joinFloats(vs []float64) string {
 // consumers.
 type MemorySink struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // guarded by mu
 }
 
 // Emit implements Sink.
