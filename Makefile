@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-fixtures build test race serve-smoke fabric-smoke obs-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
+.PHONY: ci vet lint lint-fixtures build test race serve-smoke fabric-smoke obs-smoke multicore-smoke benchsmoke bench-json bench-gate fuzzsmoke profile
 
 # ci is the gate: vet, the repo's own static analyzer (cmd/smtlint),
 # build everything, the full test suite under the race detector
@@ -10,12 +10,13 @@ GO ?= go
 # cluster smoke (coordinator + 2 workers, byte-identical output under
 # -race), the observability smoke (a traced fig4 run across a live
 # coordinator + 2 workers must produce one complete cross-node trace and
-# a federated /metrics/cluster scrape), one iteration of the telemetry
-# overhead benchmarks so a hot-loop regression fails loudly, the
-# benchmark-trajectory gate against the committed baseline, and a short
-# fuzz smoke over the text-format parsers plus an invariant-checked
-# fig9 run.
-ci: vet lint lint-fixtures build race serve-smoke fabric-smoke obs-smoke benchsmoke bench-gate fuzzsmoke
+# a federated /metrics/cluster scrape), the multi-core allocation smoke
+# (an invariant-checked 2-core smtsim run with migrations enabled), one
+# iteration of the telemetry overhead benchmarks so a hot-loop
+# regression fails loudly, the benchmark-trajectory gate against the
+# committed baseline, and a short fuzz smoke over the text-format
+# parsers plus an invariant-checked fig9 run.
+ci: vet lint lint-fixtures build race serve-smoke fabric-smoke obs-smoke multicore-smoke benchsmoke bench-gate fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -69,17 +70,28 @@ fabric-smoke:
 obs-smoke:
 	$(GO) test -race -run TestObsSmoke -count=1 ./internal/fabric
 
-# benchsmoke runs the machine-speed benchmarks once — not a timing gate,
-# just proof they still compile and complete.
-benchsmoke:
-	$(GO) test -run '^$$' -bench BenchmarkMachine -benchtime 1x .
+# multicore-smoke runs an invariant-checked 2-core allocation run end
+# to end: four applications, the ipc-pred pairing policy, thread
+# migrations live, and per-cycle invariant checks on every core. It
+# exercises the full -cores path of cmd/smtsim (see DESIGN.md
+# "Multi-core & allocation").
+multicore-smoke:
+	$(GO) run ./cmd/smtsim -check -cores 2 -pairing ipc-pred \
+		-workload art,mcf,fma3d,gcc -epochs 12 -epoch-size 8192 -warmup 1 > /dev/null
 
-# bench-json measures the tracked hot-loop benchmarks (SimulatorSpeed,
-# TelemetryOff, TracingOff, Checkpoint) and writes BENCH_PR7.json — the
-# perf trajectory artifact described in DESIGN.md "Hot-loop performance".
-# Commit the refreshed file when a PR intentionally moves the numbers.
+# benchsmoke runs the machine-speed benchmarks once — not a timing gate,
+# just proof they still compile and complete (the BenchmarkMachine
+# prefix also covers the multi-core cycle loop's single-core guard).
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkMachine|BenchmarkMultiCore' -benchtime 1x .
+
+# bench-json measures the tracked hot-loop benchmarks (the single-core
+# cycle loops, MultiCoreCyclesPerSec, Checkpoint) and writes
+# BENCH_PR9.json — the perf trajectory artifact described in DESIGN.md
+# "Hot-loop performance". Commit the refreshed file when a PR
+# intentionally moves the numbers.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # bench-gate measures the working tree into a scratch file and compares
 # it against the committed current artifact: ns/op may regress at most
@@ -92,7 +104,7 @@ bench-json:
 bench-gate:
 	mkdir -p bin
 	$(GO) run ./cmd/benchjson -out bin/bench_head.json
-	$(GO) run ./cmd/benchjson -gate -old BENCH_PR7.json -new bin/bench_head.json
+	$(GO) run ./cmd/benchjson -gate -old BENCH_PR9.json -new bin/bench_head.json
 
 # fuzzsmoke runs each fuzz target briefly — enough to exercise the seed
 # corpora plus a few thousand mutations, not a soak — and finishes with

@@ -17,6 +17,7 @@ import (
 	"smthill/internal/experiment"
 	"smthill/internal/isa"
 	"smthill/internal/metrics"
+	"smthill/internal/multicore"
 	"smthill/internal/obs"
 	"smthill/internal/pipeline"
 	"smthill/internal/telemetry"
@@ -381,6 +382,33 @@ func BenchmarkMachineTracingOff(b *testing.B) {
 	if sink := obs.EpochSpans(ctx, nil); sink != nil {
 		b.Fatal("EpochSpans must pass the sink through unchanged with tracing off")
 	}
+	benchCycleLoop(b, false)
+}
+
+// BenchmarkMultiCoreCyclesPerSec measures lock-step multi-core
+// throughput (one op = one simulated cycle across all cores): a 2-core
+// System — four threads behind the shared L3 — advanced b.N cycles.
+// Tracked by the BENCH_PR<N>.json trajectory alongside the single-core
+// cycle loops so L3/arbitration costs can't silently regress.
+func BenchmarkMultiCoreCyclesPerSec(b *testing.B) {
+	w, err := workload.Parse("art,mcf,fma3d,gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := multicore.New(multicore.DefaultConfig(2), w.Streams(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.CycleN(b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkMachineSingleCoreUnchanged pins the PR 9 contract: adding
+// the multicore package must leave the bare single-core Machine loop
+// untouched — same zero-alloc steady state, ns/op within the
+// bench-gate tolerance of BenchmarkSimulatorSpeed. The multicore
+// integration points (stream address bases, L2-miss completion hooks)
+// are all nil/no-op on a Machine built the classic way.
+func BenchmarkMachineSingleCoreUnchanged(b *testing.B) {
 	benchCycleLoop(b, false)
 }
 

@@ -1,6 +1,7 @@
 // Command benchjson is the benchmark-trajectory harness: it runs the
-// repo's hot-loop benchmarks (SimulatorSpeed, MachineTelemetryOff,
-// Checkpoint), parses the standard `go test -bench` output, and emits a
+// repo's hot-loop benchmarks (the single-core cycle loops, the 2-core
+// MultiCoreCyclesPerSec loop, Checkpoint), parses the standard
+// `go test -bench` output, and emits a
 // stable JSON artifact (BENCH_PR<N>.json) so per-PR performance becomes
 // a tracked, diffable file instead of folklore.
 //
@@ -59,6 +60,8 @@ var tracked = []struct {
 	{"SimulatorSpeed", true},
 	{"MachineTelemetryOff", true},
 	{"MachineTracingOff", true},
+	{"MachineSingleCoreUnchanged", true},
+	{"MultiCoreCyclesPerSec", true},
 	{"Checkpoint", false},
 }
 
@@ -103,7 +106,7 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 	for _, t := range tracked {
 		r := f.Benchmarks[t.name]
-		fmt.Printf("  %-20s %12.1f ns/op %10.0f B/op %6.0f allocs/op", t.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		fmt.Printf("  %-26s %12.1f ns/op %10.0f B/op %6.0f allocs/op", t.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		if r.CyclesPerSec > 0 {
 			fmt.Printf(" %12.0f cycles/sec", r.CyclesPerSec)
 		}
@@ -237,14 +240,14 @@ func runGate(oldPath, newPath string, tol float64) error {
 		o, okO := oldF.Benchmarks[t.name]
 		n, okN := newF.Benchmarks[t.name]
 		if !okN {
-			fmt.Printf("%-20s missing from %s\n", t.name, newPath)
+			fmt.Printf("%-26s missing from %s\n", t.name, newPath)
 			bad++
 			continue
 		}
 		if !okO {
 			// A benchmark added after the old baseline was captured has
 			// nothing to regress against; report it and move on.
-			fmt.Printf("%-20s %12s -> %12.1f ns/op  new benchmark (no baseline)\n", t.name, "-", n.NsPerOp)
+			fmt.Printf("%-26s %12s -> %12.1f ns/op  new benchmark (no baseline)\n", t.name, "-", n.NsPerOp)
 			continue
 		}
 		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
@@ -256,10 +259,10 @@ func runGate(oldPath, newPath string, tol float64) error {
 		case delta < 0:
 			status = "improved"
 		}
-		fmt.Printf("%-20s %12.1f -> %12.1f ns/op (%+6.1f%%)  %s\n",
+		fmt.Printf("%-26s %12.1f -> %12.1f ns/op (%+6.1f%%)  %s\n",
 			t.name, o.NsPerOp, n.NsPerOp, 100*delta, status)
 		if n.AllocsPerOp > o.AllocsPerOp {
-			fmt.Printf("%-20s allocs/op grew %.0f -> %.0f: REGRESSED\n", t.name, o.AllocsPerOp, n.AllocsPerOp)
+			fmt.Printf("%-26s allocs/op grew %.0f -> %.0f: REGRESSED\n", t.name, o.AllocsPerOp, n.AllocsPerOp)
 			bad++
 		}
 	}

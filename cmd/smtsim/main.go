@@ -9,6 +9,8 @@
 //	smtsim -workload art-mcf -trace trace.jsonl -cpuprofile cpu.out
 //	smtsim -workload art-mcf -check          # per-cycle invariant checks
 //	smtsim -workload app1.profile,app2.profile   # external models
+//	smtsim -cores 2 -workload art,mcf,fma3d,gcc -pairing ipc-pred
+//	                                         # multi-core with allocation
 //
 // Techniques: ICOUNT, STALL, FLUSH, DCRA, STATIC, HILL-IPC, HILL-WIPC,
 // HILL-HWIPC, HILL-PHASE.
@@ -47,6 +49,8 @@ func main() {
 		warmup     = flag.Int("warmup", 2, "warmup epochs before measurement")
 		delta      = flag.Int("delta", core.DefaultDelta, "hill-climbing step in rename registers")
 		seed       = flag.Uint64("seed", 0, "stream-seed perturbation (0 = canonical seeds)")
+		cores      = flag.Int("cores", 0, "run a multi-core system of this many 2-context SMT cores behind a shared L3 (the workload must supply 2*cores applications; 0/1 = single core)")
+		pairing    = flag.String("pairing", "", "thread-to-core allocation policy for -cores: random, ipc-pred, or stall-pred (default ipc-pred)")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON (the simjob/daemon schema) instead of text")
 		traceFile  = flag.String("trace", "", "write telemetry events to this file (.csv for CSV, else JSONL)")
 		check      = flag.Bool("check", false, "run per-cycle invariant checks (resource conservation, program-order commit); panics on the first violation")
@@ -59,10 +63,12 @@ func main() {
 	// os.Exit skips defers (profile writers, sink flushes), so main
 	// delegates to run.
 	os.Exit(run(*wlName, *tech, *epochs, *epochSize, *warmup, *delta, *seed,
+		*cores, *pairing,
 		*jsonOut, *traceFile, *check, *pprofAddr, *cpuprofile, *memprofile))
 }
 
 func run(wlName, tech string, epochs, epochSize, warmup, delta int, seed uint64,
+	cores int, pairing string,
 	jsonOut bool, traceFile string, check bool,
 	pprofAddr, cpuprofile, memprofile string) int {
 	// Ctrl-C / SIGTERM stops the run at the next epoch boundary.
@@ -99,6 +105,7 @@ func run(wlName, tech string, epochs, epochSize, warmup, delta int, seed uint64,
 		Workload: wlName, Tech: tech,
 		Epochs: epochs, EpochSize: epochSize, Warmup: warmup,
 		Delta: delta, Seed: seed,
+		Cores: cores, Pairing: pairing,
 	}
 
 	var sink telemetry.Sink
@@ -163,6 +170,10 @@ func run(wlName, tech string, epochs, epochSize, warmup, delta int, seed uint64,
 func render(w io.Writer, res simjob.Result) {
 	fmt.Fprintf(w, "workload %s under %s: %d epochs of %d cycles\n",
 		res.Workload, res.Tech, res.Epochs, res.EpochSize)
+	if res.Cores > 1 {
+		fmt.Fprintf(w, "  %d cores, pairing %s: migrations %d | L3 miss %.2f%% | per-core IPC%s\n",
+			res.Cores, res.Pairing, res.Migrations, 100*res.L3MissRate, renderCoreIPC(res.CoreIPC))
+	}
 	for _, t := range res.Threads {
 		fmt.Fprintf(w, "  thread %d (%-8s): IPC %6.3f | committed %9d | flushed %8d | mispredicts %7d\n",
 			t.Thread, t.App, t.IPC, t.Committed, t.Flushed, t.Mispredicts)
@@ -172,6 +183,15 @@ func render(w io.Writer, res simjob.Result) {
 	if res.FinalShares != nil {
 		fmt.Fprintf(w, "  final partitioning (rename regs): %v\n", res.FinalShares)
 	}
+}
+
+// renderCoreIPC formats per-core IPCs for the multicore header line.
+func renderCoreIPC(ipc []float64) string {
+	var b strings.Builder
+	for _, v := range ipc {
+		fmt.Fprintf(&b, " %.3f", v)
+	}
+	return b.String()
 }
 
 // profileWorkload loads comma-separated .profile files as a custom

@@ -169,12 +169,18 @@ func (c *Cache) Probe(addr uint64) bool {
 	return false
 }
 
-// Hierarchy is the full three-level memory system.
+// Hierarchy is the full three-level memory system. In the single-core
+// model a UL2 miss goes straight to memory; a multicore System attaches
+// a SharedL3, and then UL2 misses are serviced through it instead.
 type Hierarchy struct {
 	cfg HierarchyConfig
 	IL1 *Cache
 	DL1 *Cache
 	UL2 *Cache
+	// l3 is the shared last-level cache, nil in the single-core model.
+	// It is shared state, not owned: Clone/CloneInto copy the pointer.
+	l3   *SharedL3
+	core int
 }
 
 // NewHierarchy builds the memory system for the given number of contexts.
@@ -187,9 +193,14 @@ func NewHierarchy(cfg HierarchyConfig, contexts int) *Hierarchy {
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy of the private levels. The shared L3
+// pointer (if any) is carried over shallowly: the L3 belongs to the
+// System, not to any one core's checkpoint.
 func (h *Hierarchy) Clone() *Hierarchy {
-	return &Hierarchy{cfg: h.cfg, IL1: h.IL1.Clone(), DL1: h.DL1.Clone(), UL2: h.UL2.Clone()}
+	return &Hierarchy{
+		cfg: h.cfg, IL1: h.IL1.Clone(), DL1: h.DL1.Clone(), UL2: h.UL2.Clone(),
+		l3: h.l3, core: h.core,
+	}
 }
 
 // CloneInto copies h's state into dst, reusing dst's caches, and returns
@@ -205,11 +216,22 @@ func (h *Hierarchy) CloneInto(dst *Hierarchy) *Hierarchy {
 	dst.IL1 = h.IL1.CloneInto(dst.IL1)
 	dst.DL1 = h.DL1.CloneInto(dst.DL1)
 	dst.UL2 = h.UL2.CloneInto(dst.UL2)
+	dst.l3 = h.l3
+	dst.core = h.core
 	return dst
 }
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// AttachL3 routes this hierarchy's UL2 misses through the given shared
+// last-level cache, identifying itself as core c for the L3's occupancy
+// and contention accounting. Call before simulation; the single-core
+// model never attaches one and is unaffected.
+func (h *Hierarchy) AttachL3(l3 *SharedL3, c int) {
+	h.l3 = l3
+	h.core = c
+}
 
 // Load performs a data load for thread th and returns the load-to-use
 // latency plus whether the access missed in the L2 (a long-latency,
@@ -221,6 +243,10 @@ func (h *Hierarchy) Load(th int, addr uint64) (latency int, l2miss bool) {
 	if h.UL2.Access(th, addr) {
 		return h.cfg.DL1.Latency + h.cfg.UL2.Latency, false
 	}
+	if h.l3 != nil {
+		extra, _ := h.l3.Access(h.core, addr)
+		return h.cfg.DL1.Latency + h.cfg.UL2.Latency + extra, true
+	}
 	return h.cfg.DL1.Latency + h.cfg.UL2.Latency + h.cfg.MemFirst, true
 }
 
@@ -230,7 +256,9 @@ func (h *Hierarchy) Store(th int, addr uint64) {
 	if h.DL1.Access(th, addr) {
 		return
 	}
-	h.UL2.Access(th, addr)
+	if !h.UL2.Access(th, addr) && h.l3 != nil {
+		h.l3.Fill(h.core, addr)
+	}
 }
 
 // Fetch performs an instruction fetch for thread th and returns the fetch
@@ -241,6 +269,10 @@ func (h *Hierarchy) Fetch(th int, pc uint64) (latency int) {
 	}
 	if h.UL2.Access(th, pc) {
 		return h.cfg.IL1.Latency + h.cfg.UL2.Latency
+	}
+	if h.l3 != nil {
+		extra, _ := h.l3.Access(h.core, pc)
+		return h.cfg.IL1.Latency + h.cfg.UL2.Latency + extra
 	}
 	return h.cfg.IL1.Latency + h.cfg.UL2.Latency + h.cfg.MemFirst
 }

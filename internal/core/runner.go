@@ -55,6 +55,18 @@ type Runner struct {
 	prev       *EpochResult
 	results    []EpochResult
 	prevStalls map[string]uint64
+	pending    pendingEpoch
+}
+
+// pendingEpoch carries the decisions of PrepareEpoch across the cycle
+// phase to FinishEpoch, so an external lock-step driver (the multicore
+// System) can advance several runners' machines together between the
+// two halves.
+type pendingEpoch struct {
+	active        bool
+	sample        bool
+	sampledThread int
+	shares        []int
 }
 
 // NewRunner returns a Runner with the paper's default epoch size and
@@ -192,14 +204,32 @@ func (r *Runner) collectBBV() [][pipeline.BBVEntries]uint32 {
 // RunEpoch executes one epoch (a sampling epoch when one is due,
 // otherwise a learning epoch) and returns its result.
 func (r *Runner) RunEpoch() EpochResult {
-	r.ensure()
-	if th, ok := r.needsSample(); ok {
-		return r.runSampleEpoch(th)
-	}
-	return r.runLearningEpoch()
+	r.PrepareEpoch()
+	r.M.CycleN(r.EpochSize)
+	return r.FinishEpoch()
 }
 
-func (r *Runner) runLearningEpoch() EpochResult {
+// PrepareEpoch applies the upcoming epoch's decisions to the machine —
+// the distributor's partition choice and overhead stall for a learning
+// epoch, or the fetch-disable dance for a SingleIPC sampling epoch —
+// without advancing it. The caller must then run the machine EpochSize
+// cycles (directly, or in lock-step with sibling cores via
+// multicore.System) and call FinishEpoch. RunEpoch is the single-core
+// composition of the two.
+func (r *Runner) PrepareEpoch() {
+	r.ensure()
+	if r.pending.active {
+		panic("core: PrepareEpoch called twice without FinishEpoch")
+	}
+	if th, ok := r.needsSample(); ok {
+		t := r.M.Threads()
+		for i := 0; i < t; i++ {
+			r.M.SetFetchEnabled(i, i == th)
+		}
+		r.M.Resources().ClearPartitions()
+		r.pending = pendingEpoch{active: true, sample: true, sampledThread: th}
+		return
+	}
 	shares := r.Dist.Decide(r.prev)
 	switch {
 	case shares == nil:
@@ -212,12 +242,24 @@ func (r *Runner) runLearningEpoch() EpochResult {
 	if o := r.Dist.OverheadCycles(); o > 0 {
 		r.M.Stall(o)
 	}
-	r.M.CycleN(r.EpochSize)
+	r.pending = pendingEpoch{active: true, shares: shares}
+}
 
+// FinishEpoch measures the epoch prepared by PrepareEpoch after the
+// machine has run EpochSize cycles, records the result, and returns it.
+func (r *Runner) FinishEpoch() EpochResult {
+	p := r.pending
+	if !p.active {
+		panic("core: FinishEpoch called without PrepareEpoch")
+	}
+	r.pending = pendingEpoch{}
+	if p.sample {
+		return r.finishSampleEpoch(p.sampledThread)
+	}
 	committed, ipc := r.epochIPCs()
 	res := EpochResult{
 		Index:     r.epoch,
-		Shares:    shares,
+		Shares:    p.shares,
 		Committed: committed,
 		IPC:       ipc,
 		Score:     r.Metric.Eval(ipc, r.Singles()),
@@ -230,16 +272,12 @@ func (r *Runner) runLearningEpoch() EpochResult {
 	return res
 }
 
-// runSampleEpoch disables every thread but th, removes partition limits,
-// and measures th's stand-alone IPC for one epoch. The lost throughput of
-// the disabled threads is the sampling cost the paper accounts for.
-func (r *Runner) runSampleEpoch(th int) EpochResult {
+// finishSampleEpoch completes a SingleIPC sampling epoch: re-enables
+// fetch for every thread and records thread th's stand-alone IPC. The
+// lost throughput of the disabled threads is the sampling cost the
+// paper accounts for.
+func (r *Runner) finishSampleEpoch(th int) EpochResult {
 	t := r.M.Threads()
-	for i := 0; i < t; i++ {
-		r.M.SetFetchEnabled(i, i == th)
-	}
-	r.M.Resources().ClearPartitions()
-	r.M.CycleN(r.EpochSize)
 	for i := 0; i < t; i++ {
 		r.M.SetFetchEnabled(i, true)
 	}

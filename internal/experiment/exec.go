@@ -118,6 +118,14 @@ func ExecKeyOn(ctx context.Context, eng *sweep.Engine, key string) (raw json.Raw
 			return nil, true, fmt.Errorf("experiment: exec %s: unknown application %q", key, app)
 		}
 		return execJob(ctx, eng, key, table2Job(cfg, app))
+	case "mcpair":
+		cfg, w, err := p.geometry()
+		cores := p.num("cores")
+		pair := p.str("pair")
+		if err2 := firstErr(err, p.finish()); err2 != nil {
+			return nil, true, err2
+		}
+		return execJob(ctx, eng, key, mcpairJob(cfg, w, cores, pair))
 	case "phasehill":
 		cfg, w, err := p.geometry()
 		if err2 := firstErr(err, p.finish()); err2 != nil {

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smthill/internal/multicore"
+	"smthill/internal/simjob"
+	"smthill/internal/sweep"
+	"smthill/internal/workload"
+)
+
+// The mcpair experiment compares thread-to-core allocation policies on
+// the multi-core system (internal/multicore): M 2-context SMT cores
+// behind a shared L3, each running its own hill-climber, with the outer
+// pairing policy re-grouping threads at reallocation points. The
+// comparison axis is the pairing policy — random (the control arm),
+// ipc-pred, and stall-pred — scored by aggregate IPC.
+
+// McPairResult is one multi-core pairing run's cached outcome.
+type McPairResult struct {
+	TotalIPC   float64   `json:"total_ipc"`
+	CoreIPC    []float64 `json:"core_ipc"`
+	Migrations uint64    `json:"migrations"`
+	L3MissRate float64   `json:"l3_miss_rate"`
+}
+
+// MulticoreWorkloads returns the workload set for an M-core run: mixes
+// of 2*M applications spanning the ILP/MEM spectrum, built from the
+// same Table 2 applications as the single-core experiments.
+func MulticoreWorkloads(cores int) []workload.Workload {
+	var lists []string
+	switch cores {
+	case 2:
+		lists = []string{
+			"art,mcf,fma3d,gcc",
+			"gzip,twolf,bzip2,mcf",
+			"swim,twolf,gzip,vortex",
+		}
+	case 4:
+		lists = []string{
+			"art,mcf,fma3d,gcc,gzip,twolf,bzip2,mesa",
+			"swim,lucas,vortex,gap,equake,parser,crafty,applu",
+		}
+	default:
+		panic(fmt.Sprintf("experiment: no multicore workload set for %d cores", cores))
+	}
+	out := make([]workload.Workload, len(lists))
+	for i, l := range lists {
+		w, err := workload.Parse(l)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// mcpairSpec builds the simjob spec for one multi-core pairing run. The
+// workload travels as the comma-separated application list, the one
+// spelling workload.Parse accepts for any mix.
+func mcpairSpec(cfg Config, w workload.Workload, cores int, pairing string) simjob.Spec {
+	return simjob.Spec{
+		Workload:  strings.Join(w.Apps, ","),
+		Tech:      "HILL-WIPC",
+		Epochs:    cfg.Epochs,
+		EpochSize: cfg.EpochSize,
+		Warmup:    cfg.WarmupEpochs,
+		Cores:     cores,
+		Pairing:   pairing,
+	}
+}
+
+// mcpairKey identifies one multi-core pairing run. The runs go through
+// simjob with Seed 0, so workload, geometry, core count, and pairing
+// policy fully determine the result.
+func mcpairKey(cfg Config, w workload.Workload, cores int, pairing string) string {
+	return sweep.KeyFrom(keyPrefix("mcpair"), map[string]string{
+		"wl":    strings.Join(w.Apps, ","),
+		"pair":  pairing,
+		"cores": strconv.Itoa(cores),
+		"es":    strconv.Itoa(cfg.EpochSize),
+		"ep":    strconv.Itoa(cfg.Epochs),
+		"wu":    strconv.Itoa(cfg.WarmupEpochs),
+	})
+}
+
+func mcpairJob(cfg Config, w workload.Workload, cores int, pairing string) sweep.Job[McPairResult] {
+	return sweep.Job[McPairResult]{
+		Key: mcpairKey(cfg, w, cores, pairing),
+		Run: func(ctx context.Context) (McPairResult, error) {
+			res, err := simjob.Run(ctx, mcpairSpec(cfg, w, cores, pairing), tele)
+			if err != nil {
+				return McPairResult{}, err
+			}
+			return McPairResult{
+				TotalIPC:   res.TotalIPC,
+				CoreIPC:    res.CoreIPC,
+				Migrations: res.Migrations,
+				L3MissRate: res.L3MissRate,
+			}, nil
+		},
+	}
+}
+
+// McPair runs every pairing policy over the multicore workload sets of
+// the given core counts and returns one row per (core count, workload)
+// with aggregate IPC per policy. Rows group as "<M>core".
+func McPair(cfg Config, coreCounts []int) []CompareRow {
+	var jobs []sweep.Job[McPairResult]
+	for _, cores := range coreCounts {
+		for _, w := range MulticoreWorkloads(cores) {
+			for _, pairing := range multicore.PairingNames() {
+				jobs = append(jobs, mcpairJob(cfg, w, cores, pairing))
+			}
+		}
+	}
+	res := mustRun(jobs)
+	var rows []CompareRow
+	for _, cores := range coreCounts {
+		for _, w := range MulticoreWorkloads(cores) {
+			row := CompareRow{
+				Workload: w.Name(),
+				Group:    fmt.Sprintf("%dcore", cores),
+				Scores:   map[string]float64{},
+			}
+			for _, pairing := range multicore.PairingNames() {
+				row.Scores[pairing] = res[mcpairKey(cfg, w, cores, pairing)].TotalIPC
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

@@ -15,7 +15,7 @@ import (
 // names lists every runnable experiment, in "all" order.
 var names = []string{
 	"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig7",
-	"fig9", "fig10", "fig11", "fig12", "qual", "sec5",
+	"fig9", "fig10", "fig11", "fig12", "qual", "sec5", "mcpair",
 }
 
 // Names returns the runnable experiment names in "all" order (excluding
@@ -161,6 +161,16 @@ func RunNamed(cfg Config, name string, opts RunOptions, w io.Writer) (err error)
 	case "qual":
 		fmt.Fprintln(w, "== Section 3.3.2: qualitative analysis scenarios ==")
 		WriteQualitative(w, Qualitative(cfg))
+	case "mcpair":
+		rows := McPair(cfg, []int{2, 4})
+		if opts.JSONRows {
+			return writeCompareJSON(w, "mcpair", rows)
+		}
+		fmt.Fprintln(w, "== Multi-core pairing: allocation policies vs random (aggregate IPC) ==")
+		WriteCompare(w, rows)
+		for _, p := range []string{"ipc-pred", "stall-pred"} {
+			fmt.Fprintf(w, "%s gain over random: %+.1f%%\n", p, 100*Gains(rows, p, "random"))
+		}
 	case "sec5":
 		loads, err := pick(opts.Workloads, workload.All())
 		if err != nil {

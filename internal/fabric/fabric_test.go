@@ -129,6 +129,7 @@ func TestFabricClusterByteIdentical(t *testing.T) {
 		{"fig4", experiment.RunOptions{Workloads: "gzip-bzip2,art-mcf"}},
 		{"fig9", experiment.RunOptions{Workloads: "art-gzip,swim-twolf"}},
 		{"table2", experiment.RunOptions{}},
+		{"mcpair", experiment.RunOptions{}},
 	}
 
 	// Serial reference: one plain engine, no fabric.

@@ -33,7 +33,7 @@ func NewNondetRule() *NondetRule {
 			"internal/cache", "internal/workload", "internal/trace",
 			"internal/resource", "internal/policy", "internal/phase",
 			"internal/metrics", "internal/stats", "internal/isa",
-			"internal/experiment", "internal/simjob",
+			"internal/experiment", "internal/simjob", "internal/multicore",
 		},
 		// internal/fabric sits outside the determinism boundary like
 		// internal/serve: heartbeat timers, dispatch latency, and liveness

@@ -1,0 +1,150 @@
+package multicore
+
+import (
+	"testing"
+
+	"smthill/internal/core"
+	"smthill/internal/metrics"
+	"smthill/internal/resource"
+)
+
+// swappedLabels relabels the current grouping onto different cores
+// without changing who shares a core — the no-op case relabel must
+// recognise.
+type swappedLabels struct{}
+
+func (swappedLabels) Name() string { return "swapped-labels" }
+func (swappedLabels) Pair(obs []Obs, groups [][]int, epoch int) [][]int {
+	out := make([][]int, len(groups))
+	for c := range groups {
+		out[c] = append([]int(nil), groups[(c+1)%len(groups)]...)
+	}
+	return out
+}
+
+// forceSwap demands threads 0 and 3 trade places on every call.
+type forceSwap struct{}
+
+func (forceSwap) Name() string { return "force-swap" }
+func (forceSwap) Pair(obs []Obs, groups [][]int, epoch int) [][]int {
+	out := make([][]int, len(groups))
+	for c := range groups {
+		out[c] = append([]int(nil), groups[c]...)
+	}
+	for c := range out {
+		for i, g := range out[c] {
+			switch g {
+			case 0:
+				out[c][i] = 3
+			case 3:
+				out[c][i] = 0
+			}
+		}
+	}
+	return out
+}
+
+func newTestDriver(t *testing.T, cores int, p Pairing) *Driver {
+	t.Helper()
+	sys := newTestSystem(t, cores)
+	renameRegs := resource.DefaultSizes()[resource.IntRename]
+	runners := make([]*core.Runner, cores)
+	for c := 0; c < cores; c++ {
+		h := core.NewHillClimber(ContextsPerCore, renameRegs, metrics.WeightedIPC)
+		r := core.NewRunner(sys.Core(c), h, metrics.WeightedIPC)
+		r.EpochSize = 2048
+		runners[c] = r
+	}
+	return &Driver{Sys: sys, Runners: runners, Pairing: p, EpochSize: 2048, AllocEvery: 2}
+}
+
+// TestDriverRelabelSkipsNoopMigrations: a pairing that only permutes
+// core labels (same thread pairs) must cause zero migrations — the
+// grouping is about who shares a core, not which core hosts a pair.
+func TestDriverRelabelSkipsNoopMigrations(t *testing.T) {
+	d := newTestDriver(t, 2, swappedLabels{})
+	d.Run(6)
+	if got := d.Sys.Migrations(); got != 0 {
+		t.Fatalf("label-only re-pairing caused %d migrations, want 0", got)
+	}
+}
+
+// TestDriverAppliesBoundedSwaps: a pairing that genuinely regroups gets
+// its migration, and the per-reallocation move bound holds.
+func TestDriverAppliesBoundedSwaps(t *testing.T) {
+	d := newTestDriver(t, 2, forceSwap{})
+	d.MaxMoves = 1
+	d.Run(2) // one reallocation point
+	if got := d.Sys.Migrations(); got != 2 {
+		t.Fatalf("forced swap performed %d migrations, want 2 (one bounded swap)", got)
+	}
+	if d.Sys.ThreadAt(0, 0) != 3 || d.Sys.SeatOf(0).Core != 1 {
+		t.Fatal("forced swap did not move threads 0 and 3")
+	}
+	// The next reallocation wants them swapped back.
+	d.Run(2)
+	if got := d.Sys.Migrations(); got != 4 {
+		t.Fatalf("second reallocation performed %d total migrations, want 4", got)
+	}
+}
+
+// TestDriverEpochResultsMatchRunners: RunEpoch surfaces each runner's
+// epoch result in core order.
+func TestDriverEpochResultsMatchRunners(t *testing.T) {
+	d := newTestDriver(t, 2, nil)
+	results := d.RunEpoch()
+	if len(results) != 2 {
+		t.Fatalf("%d results for 2 cores", len(results))
+	}
+	for c, res := range results {
+		if len(res.IPC) != ContextsPerCore {
+			t.Fatalf("core %d: %d per-thread IPCs", c, len(res.IPC))
+		}
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("Epoch() = %d after one RunEpoch", d.Epoch())
+	}
+}
+
+// TestDriverDeterministic: two identical driver runs with the learning
+// stack and an active pairing land on identical thread state.
+func TestDriverDeterministic(t *testing.T) {
+	run := func() ([]uint64, uint64) {
+		d := newTestDriver(t, 2, IPCPairing{})
+		d.Run(8)
+		out := make([]uint64, d.Sys.Threads())
+		for g := range out {
+			out[g] = d.Sys.Committed(g)
+		}
+		return out, d.Sys.Migrations()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if m1 != m2 {
+		t.Fatalf("migration counts diverged: %d vs %d", m1, m2)
+	}
+	for g := range c1 {
+		if c1[g] != c2[g] {
+			t.Fatalf("thread %d committed %d vs %d across identical runs", g, c1[g], c2[g])
+		}
+	}
+}
+
+// TestDriverObservationsPopulated: after a reallocation point the
+// per-thread observations carry live IPC and stall signals.
+func TestDriverObservationsPopulated(t *testing.T) {
+	d := newTestDriver(t, 2, IPCPairing{})
+	d.Run(8)
+	obs := d.Obs()
+	var ipc, stall float64
+	for _, o := range obs {
+		ipc += o.IPC
+		stall += o.StallFrac
+	}
+	if ipc == 0 {
+		t.Fatal("no IPC observed after a reallocation point")
+	}
+	if stall == 0 {
+		t.Fatal("no dispatch-stall signal observed after a reallocation point")
+	}
+}

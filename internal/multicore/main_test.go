@@ -1,0 +1,16 @@
+package multicore
+
+import (
+	"os"
+	"testing"
+
+	"smthill/internal/lint/leakcheck"
+)
+
+// TestMain gates the suite on goroutine leaks. The package itself is
+// single-goroutine by design, so any goroutine surviving a test here
+// means simulation state escaped onto a background routine — a
+// determinism bug, not just a leak.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

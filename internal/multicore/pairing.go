@@ -1,0 +1,149 @@
+package multicore
+
+import (
+	"fmt"
+	"sort"
+
+	"smthill/internal/rng"
+)
+
+// Obs is what the allocation layer knows about one logical thread at a
+// reallocation point: its IPC over the recent epochs on its current
+// core, and the fraction of cycles its dispatch head was blocked on a
+// shared structure (from the per-core telemetry recorders).
+type Obs struct {
+	IPC       float64
+	StallFrac float64
+}
+
+// Pairing decides which threads share a core. Pair receives the
+// per-thread observations, the current groups (groups[c] lists the
+// logical threads on core c), and the epoch ordinal; it returns the
+// desired groups in the same shape. Implementations must be
+// deterministic functions of their inputs and any internal seeded
+// state.
+type Pairing interface {
+	// Name identifies the policy in reports and cache keys.
+	Name() string
+	// Pair returns the desired thread grouping.
+	Pair(obs []Obs, groups [][]int, epoch int) [][]int
+}
+
+// PairingNames lists the known pairing policies in presentation order.
+func PairingNames() []string { return []string{"random", "ipc-pred", "stall-pred"} }
+
+// PairingByName builds the named pairing policy. seed feeds the random
+// policy's generator (the prediction-based policies are deterministic
+// functions of their observations and ignore it).
+func PairingByName(name string, seed uint64) (Pairing, error) {
+	switch name {
+	case "random":
+		return NewRandomPairing(seed), nil
+	case "ipc-pred":
+		return IPCPairing{}, nil
+	case "stall-pred":
+		return StallPairing{}, nil
+	}
+	return nil, fmt.Errorf("multicore: unknown pairing policy %q; valid: %v", name, PairingNames())
+}
+
+// RandomPairing shuffles threads onto cores — the control arm the
+// related allocation papers compare against.
+type RandomPairing struct {
+	rng rng.Rng
+}
+
+// NewRandomPairing returns a random pairing seeded deterministically.
+func NewRandomPairing(seed uint64) *RandomPairing {
+	return &RandomPairing{rng: rng.New(seed ^ 0xa11c0e5)}
+}
+
+// Name implements Pairing.
+func (*RandomPairing) Name() string { return "random" }
+
+// Pair implements Pairing: a Fisher-Yates shuffle of the thread ids,
+// chunked per core.
+func (p *RandomPairing) Pair(obs []Obs, groups [][]int, epoch int) [][]int {
+	n := len(obs)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.rng.Intn(i + 1)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return fold(ids, len(groups), false)
+}
+
+// IPCPairing pairs high- and low-ILP threads (per Navarro et al.): sort
+// by observed IPC and fold the list, so the fastest thread shares a
+// core with the slowest. Co-scheduling two high-ILP threads makes them
+// fight for the window; pairing complementary demands does not.
+type IPCPairing struct{}
+
+// Name implements Pairing.
+func (IPCPairing) Name() string { return "ipc-pred" }
+
+// Pair implements Pairing.
+func (IPCPairing) Pair(obs []Obs, groups [][]int, epoch int) [][]int {
+	ids := sortedBy(len(obs), func(a, b int) bool {
+		if obs[a].IPC > obs[b].IPC {
+			return true
+		}
+		if obs[a].IPC < obs[b].IPC {
+			return false
+		}
+		return a < b
+	})
+	return fold(ids, len(groups), true)
+}
+
+// StallPairing is IPCPairing with dispatch-stall attribution as the
+// interference signal: a thread whose dispatch head is often blocked on
+// shared structures is a heavy window consumer, so it is paired with
+// the thread blocked least.
+type StallPairing struct{}
+
+// Name implements Pairing.
+func (StallPairing) Name() string { return "stall-pred" }
+
+// Pair implements Pairing.
+func (StallPairing) Pair(obs []Obs, groups [][]int, epoch int) [][]int {
+	ids := sortedBy(len(obs), func(a, b int) bool {
+		if obs[a].StallFrac > obs[b].StallFrac {
+			return true
+		}
+		if obs[a].StallFrac < obs[b].StallFrac {
+			return false
+		}
+		return a < b
+	})
+	return fold(ids, len(groups), true)
+}
+
+// sortedBy returns [0, n) ordered by less (a deterministic total order:
+// callers tie-break on the id).
+func sortedBy(n int, less func(a, b int) bool) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(i, j int) bool { return less(ids[i], ids[j]) })
+	return ids
+}
+
+// fold chunks ids into cores groups. With complement set, core i gets
+// ids[i] and ids[2*cores-1-i] — the sorted-fold that pairs the list's
+// extremes; otherwise cores are filled in order (random chunking).
+func fold(ids []int, cores int, complement bool) [][]int {
+	out := make([][]int, cores)
+	for c := 0; c < cores; c++ {
+		if complement {
+			out[c] = []int{ids[c], ids[2*cores-1-c]}
+		} else {
+			out[c] = []int{ids[2*c], ids[2*c+1]}
+		}
+	}
+	return out
+}

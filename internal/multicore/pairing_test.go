@@ -1,0 +1,113 @@
+package multicore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func groupsEqual(a, b [][]int) bool { return reflect.DeepEqual(a, b) }
+
+// TestIPCPairingFoldsExtremes pins the complement fold: fastest with
+// slowest, second-fastest with second-slowest.
+func TestIPCPairingFoldsExtremes(t *testing.T) {
+	obs := []Obs{{IPC: 3}, {IPC: 1}, {IPC: 4}, {IPC: 2}}
+	groups := [][]int{{0, 1}, {2, 3}}
+	got := IPCPairing{}.Pair(obs, groups, 0)
+	// Sorted by IPC desc: 2(4), 0(3), 3(2), 1(1); fold pairs 2+1, 0+3.
+	want := [][]int{{2, 1}, {0, 3}}
+	if !groupsEqual(got, want) {
+		t.Fatalf("Pair = %v, want %v", got, want)
+	}
+}
+
+// TestStallPairingFoldsExtremes does the same for the stall signal.
+func TestStallPairingFoldsExtremes(t *testing.T) {
+	obs := []Obs{{StallFrac: 0.1}, {StallFrac: 0.9}, {StallFrac: 0.4}, {StallFrac: 0.6}}
+	groups := [][]int{{0, 1}, {2, 3}}
+	got := StallPairing{}.Pair(obs, groups, 0)
+	// Sorted by stall desc: 1, 3, 2, 0; fold pairs 1+0, 3+2.
+	want := [][]int{{1, 0}, {3, 2}}
+	if !groupsEqual(got, want) {
+		t.Fatalf("Pair = %v, want %v", got, want)
+	}
+}
+
+// TestPairingTiesBreakOnThreadID pins the deterministic total order:
+// equal signals sort by thread id, never by map or comparison-sort
+// happenstance.
+func TestPairingTiesBreakOnThreadID(t *testing.T) {
+	obs := make([]Obs, 4) // all-zero signals: pure tie
+	groups := [][]int{{0, 1}, {2, 3}}
+	want := [][]int{{0, 3}, {1, 2}}
+	if got := (IPCPairing{}).Pair(obs, groups, 0); !groupsEqual(got, want) {
+		t.Fatalf("ipc-pred tie fold = %v, want %v", got, want)
+	}
+	if got := (StallPairing{}).Pair(obs, groups, 0); !groupsEqual(got, want) {
+		t.Fatalf("stall-pred tie fold = %v, want %v", got, want)
+	}
+}
+
+// TestPairingsReturnPermutations property-checks every policy against
+// the grouping contract the driver enforces.
+func TestPairingsReturnPermutations(t *testing.T) {
+	for _, cores := range []int{2, 4, 8} {
+		n := cores * ContextsPerCore
+		obs := make([]Obs, n)
+		for i := range obs {
+			obs[i] = Obs{IPC: float64((i * 7) % 5), StallFrac: float64((i * 3) % 4)}
+		}
+		groups := make([][]int, cores)
+		for c := range groups {
+			groups[c] = []int{2 * c, 2*c + 1}
+		}
+		for _, name := range PairingNames() {
+			p, err := PairingByName(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for epoch := 0; epoch < 5; epoch++ {
+				got := p.Pair(obs, groups, epoch)
+				checkGrouping(got, n) // panics on violation
+			}
+		}
+	}
+}
+
+// TestRandomPairingDeterministicPerSeed pins that the control arm is
+// replayable: same seed, same shuffle sequence; different seed,
+// different sequence.
+func TestRandomPairingDeterministicPerSeed(t *testing.T) {
+	obs := make([]Obs, 8)
+	groups := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	a, b := NewRandomPairing(1), NewRandomPairing(1)
+	diverged := false
+	c := NewRandomPairing(2)
+	for epoch := 0; epoch < 10; epoch++ {
+		ga, gb := a.Pair(obs, groups, epoch), b.Pair(obs, groups, epoch)
+		if !groupsEqual(ga, gb) {
+			t.Fatalf("epoch %d: same seed diverged: %v vs %v", epoch, ga, gb)
+		}
+		if !groupsEqual(ga, c.Pair(obs, groups, epoch)) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 1 and 2 produced identical shuffles for 10 epochs")
+	}
+}
+
+// TestPairingByNameRejectsUnknown locks the error vocabulary.
+func TestPairingByNameRejectsUnknown(t *testing.T) {
+	for _, name := range PairingNames() {
+		p, err := PairingByName(name, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("PairingByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PairingByName("round-robin", 0); err == nil {
+		t.Fatal("unknown pairing accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"smthill/internal/obs"
+	"smthill/internal/simjob"
 	"smthill/internal/sweep"
 )
 
@@ -23,6 +24,8 @@ type metricsSet struct {
 	sweepDone   *obs.Counter
 	sweepHits   *obs.Counter
 	sweepRemote *obs.Counter
+	mcJobs      *obs.Counter
+	migrations  *obs.Counter
 	httpReq     *obs.CounterVec // route, status
 	httpLat     *obs.HistVec    // route
 }
@@ -43,6 +46,10 @@ func newMetrics(now time.Time) *metricsSet {
 			"sweep jobs served from memo or cache"),
 		sweepRemote: reg.Counter("smtserved_sweep_remote_total",
 			"sweep jobs computed by a fabric remote"),
+		mcJobs: reg.Counter("smtserved_multicore_jobs_total",
+			"completed simulation jobs that ran multi-core"),
+		migrations: reg.Counter("smtserved_thread_migrations_total",
+			"thread-to-core migrations reported by completed multi-core jobs"),
 		httpReq: reg.CounterVec("smtserved_http_requests_total",
 			"served requests by route and status", "route", "status"),
 		httpLat: reg.HistVec("smtserved_http_request_ms",
@@ -128,6 +135,18 @@ func (m *metricsSet) observeSweep(ev sweep.Event) {
 		m.sweepRemote.Inc()
 	default:
 		m.sweepHits.Inc()
+	}
+}
+
+// observeSim records result-level facts of one completed simulation
+// job: a multi-core run counts once and contributes the thread
+// migrations its allocation layer performed. Cache-served results count
+// too — the counter tracks what the daemon reported, not what it
+// computed.
+func (m *metricsSet) observeSim(r simjob.Result) {
+	if r.Cores > 1 {
+		m.mcJobs.Inc()
+		m.migrations.Add(r.Migrations)
 	}
 }
 

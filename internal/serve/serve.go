@@ -398,6 +398,7 @@ func (s *Server) runSim(ctx context.Context, j *job) {
 	res, err := sweep.Run(ctx, s.eng, jobs)
 	if r, ok := res[j.key]; ok {
 		// Completed even if the context fired during teardown.
+		s.metrics.observeSim(r)
 		j.completeSim(r, time.Now())
 		return
 	}

@@ -724,3 +724,32 @@ func stripRoute(s, route string) string {
 	}
 	return strings.Join(out, "\n")
 }
+
+// TestMulticoreJobAndMigrationMetrics: a multi-core spec runs through
+// the daemon like any job, its Result carries the multicore fields, and
+// the migration counters surface in /metrics.
+func TestMulticoreJobAndMigrationMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	spec := simjob.Spec{
+		Workload: "art,mcf,fma3d,gcc", Tech: "HILL-WIPC",
+		Epochs: 16, EpochSize: 1024, Warmup: 1,
+		Cores: 2, Pairing: "stall-pred",
+	}
+	v, _ := submit(t, ts.URL, spec)
+	got := waitState(t, ts.URL, v.ID, "done")
+	if got.Result == nil || got.Result.Cores != 2 || got.Result.Pairing != "stall-pred" {
+		t.Fatalf("multicore result = %+v", got.Result)
+	}
+	if len(got.Result.CoreIPC) != 2 {
+		t.Fatalf("CoreIPC = %v", got.Result.CoreIPC)
+	}
+
+	body := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "smtserved_multicore_jobs_total 1") {
+		t.Errorf("metrics missing multicore job count:\n%s", body)
+	}
+	want := fmt.Sprintf("smtserved_thread_migrations_total %d", got.Result.Migrations)
+	if !strings.Contains(body, want) {
+		t.Errorf("metrics missing %q:\n%s", want, body)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"smthill/internal/core"
 	"smthill/internal/metrics"
+	"smthill/internal/multicore"
 	"smthill/internal/pipeline"
 	"smthill/internal/policy"
 	"smthill/internal/resource"
@@ -37,6 +38,9 @@ const (
 	MaxEpochSize = 1 << 20
 	// MaxWarmup bounds Spec.Warmup in epochs.
 	MaxWarmup = 64
+	// MaxCores bounds Spec.Cores (each core simulates a full 2-context
+	// pipeline, so cost grows linearly in cores).
+	MaxCores = 8
 )
 
 // schemaVersion is folded into Key so cached Results from an older
@@ -53,7 +57,11 @@ const schemaVersion = 1
 // WireVersion is deliberately separate from schemaVersion: bumping the
 // wire version adds fields the other side may not know, bumping the
 // schema version changes what a cached Result means.
-const WireVersion = 1
+//
+// Version history: 1 added the version field itself; 2 added the
+// multicore fields (Spec.Cores/Pairing, Result.Cores/Pairing/
+// Migrations/CoreIPC/L3MissRate).
+const WireVersion = 2
 
 // Techniques lists the distribution techniques a Spec may name, in
 // presentation order (the baselines, then static partitioning, then the
@@ -90,8 +98,17 @@ type Spec struct {
 	Delta int `json:"delta,omitempty"`
 	// Seed perturbs every member application's stream seed, giving an
 	// independent replica of the same workload (0 = the catalog's
-	// canonical seeds).
+	// canonical seeds). It also seeds the random pairing policy.
 	Seed uint64 `json:"seed,omitempty"`
+	// Cores, when > 1, runs the workload on a multi-core system of that
+	// many 2-context SMT cores behind a shared L3 (see
+	// internal/multicore). The workload must then supply exactly
+	// 2*Cores applications. 0 or 1 is the classic single-core run.
+	Cores int `json:"cores,omitempty"`
+	// Pairing is the thread-to-core allocation policy for a multi-core
+	// run: "random", "ipc-pred", or "stall-pred" (default "ipc-pred").
+	// It must be empty when Cores <= 1.
+	Pairing string `json:"pairing,omitempty"`
 }
 
 // Normalize returns s with defaults filled in. Key and Run both
@@ -113,6 +130,9 @@ func (s Spec) Normalize() Spec {
 	if s.Delta == 0 {
 		s.Delta = core.DefaultDelta
 	}
+	if s.Cores > 1 && s.Pairing == "" {
+		s.Pairing = "ipc-pred"
+	}
 	return s
 }
 
@@ -121,10 +141,18 @@ func (s Spec) Normalize() Spec {
 // The returned error is safe to surface verbatim to an API client.
 func (s Spec) Validate() error {
 	s = s.Normalize()
-	if _, err := workload.Parse(s.Workload); err != nil {
+	w, err := workload.Parse(s.Workload)
+	if err != nil {
 		return err
 	}
-	return s.validateShape()
+	if err := s.validateShape(); err != nil {
+		return err
+	}
+	if s.Cores > 1 && w.Threads() != s.Cores*multicore.ContextsPerCore {
+		return fmt.Errorf("simjob: %d-core run needs exactly %d applications, workload %q has %d",
+			s.Cores, s.Cores*multicore.ContextsPerCore, s.Workload, w.Threads())
+	}
+	return nil
 }
 
 // validateShape checks everything but the workload name: technique and
@@ -147,6 +175,18 @@ func (s Spec) validateShape() error {
 		return fmt.Errorf("simjob: warmup %d outside [0, %d]", s.Warmup, MaxWarmup)
 	case s.Delta < 1:
 		return fmt.Errorf("simjob: delta %d must be positive", s.Delta)
+	case s.Cores < 0 || s.Cores > MaxCores:
+		return fmt.Errorf("simjob: cores %d outside [0, %d]", s.Cores, MaxCores)
+	}
+	if s.Cores > 1 {
+		if _, err := multicore.PairingByName(s.Pairing, 0); err != nil {
+			return err
+		}
+		if s.Tech == "HILL-PHASE" {
+			return fmt.Errorf("simjob: technique HILL-PHASE is single-core only")
+		}
+	} else if s.Pairing != "" {
+		return fmt.Errorf("simjob: pairing %q requires cores > 1", s.Pairing)
 	}
 	return nil
 }
@@ -165,7 +205,7 @@ func validTech(name string) bool {
 // included.
 func (s Spec) Key() string {
 	s = s.Normalize()
-	return sweep.KeyFrom(fmt.Sprintf("v%d|simjob", schemaVersion), map[string]string{
+	params := map[string]string{
 		"wl":   s.Workload,
 		"tech": s.Tech,
 		"ep":   strconv.Itoa(s.Epochs),
@@ -173,7 +213,14 @@ func (s Spec) Key() string {
 		"wu":   strconv.Itoa(s.Warmup),
 		"d":    strconv.Itoa(s.Delta),
 		"seed": strconv.FormatUint(s.Seed, 10),
-	})
+	}
+	// Multicore params appear only when active, so every pre-existing
+	// single-core key (and its cached Result) stays stable.
+	if s.Cores > 1 {
+		params["cores"] = strconv.Itoa(s.Cores)
+		params["pair"] = s.Pairing
+	}
+	return sweep.KeyFrom(fmt.Sprintf("v%d|simjob", schemaVersion), params)
 }
 
 // ThreadResult is one hardware context's share of a Result.
@@ -220,6 +267,20 @@ type Result struct {
 	// adopted (rename registers per thread); empty for unpartitioned
 	// techniques.
 	FinalShares []int `json:"final_shares,omitempty"`
+
+	// The remaining fields are set only by multi-core runs (Cores > 1);
+	// they are all omitted on the single-core path, so its JSON output
+	// is byte-identical to wire version 1.
+	//
+	// Cores and Pairing echo the normalised Spec.
+	Cores   int    `json:"cores,omitempty"`
+	Pairing string `json:"pairing,omitempty"`
+	// Migrations counts thread moves between cores (a swap moves two).
+	Migrations uint64 `json:"migrations,omitempty"`
+	// CoreIPC is each core's aggregate IPC over the measured epochs.
+	CoreIPC []float64 `json:"core_ipc,omitempty"`
+	// L3MissRate is the shared last-level cache's lifetime miss rate.
+	L3MissRate float64 `json:"l3_miss_rate,omitempty"`
 }
 
 // checkWireVersion rejects wire versions this build does not speak.
@@ -270,6 +331,14 @@ func SpecFromKey(key string) (Spec, bool, error) {
 		return Spec{}, false, fmt.Errorf("simjob: key %q: bad seed: %v", key, err)
 	}
 	s.Seed = seed
+	if v, ok := params["cores"]; ok {
+		cores, err := strconv.Atoi(v)
+		if err != nil {
+			return Spec{}, false, fmt.Errorf("simjob: key %q: bad cores: %v", key, err)
+		}
+		s.Cores = cores
+		s.Pairing = params["pair"]
+	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, false, err
 	}
@@ -289,6 +358,9 @@ func Build(s Spec) (*pipeline.Machine, core.Distributor, metrics.Kind, error) {
 	s = s.Normalize()
 	if err := s.Validate(); err != nil {
 		return nil, nil, 0, err
+	}
+	if s.Cores > 1 {
+		return nil, nil, 0, fmt.Errorf("simjob: Build constructs a single-core machine; run multi-core specs through Run")
 	}
 	w, err := s.Resolve()
 	if err != nil {
@@ -382,6 +454,9 @@ func RunWorkload(ctx context.Context, w workload.Workload, s Spec, sink telemetr
 	s = s.Normalize()
 	if err := s.validateShape(); err != nil {
 		return Result{}, err
+	}
+	if s.Cores > 1 {
+		return runMulticore(ctx, w, s, sink, checks)
 	}
 	m, dist, feedback, err := buildWorkload(w, s)
 	if err != nil {

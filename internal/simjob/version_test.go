@@ -12,7 +12,7 @@ func TestSpecVersionRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(b), `"version":1`) {
+	if !strings.Contains(string(b), `"version":2`) {
 		t.Fatalf("marshalled spec missing version: %s", b)
 	}
 	var back Spec

@@ -55,6 +55,13 @@ const (
 	TypeJob = "job"
 	// TypeSummary is a sweep batch utilisation summary.
 	TypeSummary = "summary"
+	// TypeMigration is one thread moved between cores by the multicore
+	// allocation layer (Thread is the logical thread; Attrs carries
+	// "from", "to", and "policy").
+	TypeMigration = "migration"
+	// TypeOccupancy is a per-epoch multicore snapshot: Shares holds each
+	// core's shared-L3 resident line count, IPC the aggregate IPC.
+	TypeOccupancy = "occupancy"
 )
 
 // Event kinds, qualifying the type.
