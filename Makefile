@@ -86,12 +86,23 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachine|BenchmarkMultiCore' -benchtime 1x .
 
 # bench-json measures the tracked hot-loop benchmarks (the single-core
-# cycle loops, MultiCoreCyclesPerSec, Checkpoint) and writes
-# BENCH_PR9.json — the perf trajectory artifact described in DESIGN.md
-# "Hot-loop performance". Commit the refreshed file when a PR
-# intentionally moves the numbers.
+# cycle loops, MultiCoreCyclesPerSec, the K=8 MachineBatch loop and its
+# sequential baseline, Checkpoint) and writes BENCH_PR10.json — the perf
+# trajectory artifact described in DESIGN.md "Hot-loop performance".
+# Commit the refreshed file when a PR intentionally moves the numbers.
+# The -note records the measurement context for this PR's artifact; keep
+# it when regenerating on the same class of host, rewrite it otherwise.
+BENCH_NOTE = PR10: batch K=8 aggregate is the serial lock-step number; \
+the >=2x-vs-sequential target needs SetParallel across real cores \
+(BenchmarkMachineBatchParallel, skipped on 1-CPU hosts) -- profiling \
+shows ~90% of batch time is irreducible per-member pipeline work, so \
+the serial gain is bounded by shared decode + locality. Checkpoint \
+drift since PR7 (14330 -> ~16900 ns/op) bisects to host \
+memory-bandwidth variance, not a code change: the seed commit \
+re-measures at 16.3-16.9us on today's host while HEAD measures \
+16.0-16.2us on the same runs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json -note "$(BENCH_NOTE)"
 
 # bench-gate measures the working tree into a scratch file and compares
 # it against the committed current artifact: ns/op may regress at most
@@ -104,13 +115,14 @@ bench-json:
 bench-gate:
 	mkdir -p bin
 	$(GO) run ./cmd/benchjson -out bin/bench_head.json
-	$(GO) run ./cmd/benchjson -gate -old BENCH_PR9.json -new bin/bench_head.json
+	$(GO) run ./cmd/benchjson -gate -old BENCH_PR10.json -new bin/bench_head.json
 
 # fuzzsmoke runs each fuzz target briefly — enough to exercise the seed
 # corpora plus a few thousand mutations, not a soak — and finishes with
-# an invariant-checked fig9 run: every machine (and every checkpoint
-# trial cloned from one) asserts resource conservation, program-order
-# commit, and wakeup/ready-queue consistency each cycle.
+# an invariant-checked fig9 run: every machine — including every
+# MachineBatch member the batched trial loops refill from a checkpoint —
+# asserts resource conservation, program-order commit, and
+# wakeup/ready-queue consistency each cycle.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParseWorkload -fuzztime 5s ./internal/workload

@@ -11,6 +11,7 @@ package smthill
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"smthill/internal/core"
@@ -410,6 +411,101 @@ func BenchmarkMultiCoreCyclesPerSec(b *testing.B) {
 // are all nil/no-op on a Machine built the classic way.
 func BenchmarkMachineSingleCoreUnchanged(b *testing.B) {
 	benchCycleLoop(b, false)
+}
+
+// batchBenchRound is the trial-loop shape both batch benchmarks time: a
+// refill of every member from the source checkpoint followed by one
+// epoch of lock-step execution — exactly what one OFF-LINE/steepest
+// wave costs per candidate set.
+const batchBenchK = 8
+const batchBenchEpoch = 4096
+
+// BenchmarkMachineBatchCyclesPerSec measures batched lock-step
+// throughput: a K=8 MachineBatch repeatedly refilled from an art-gzip
+// checkpoint and advanced an epoch per round. One op is one aggregate
+// member-cycle, so ns/op compares directly with BenchmarkSimulatorSpeed
+// and the cycles/sec metric is the aggregate across members
+// (benchjson's BatchCyclesPerSec). The steady-state round — pooled
+// refill, shared-window fill and trim, lock-step chunks — must not
+// allocate.
+func BenchmarkMachineBatchCyclesPerSec(b *testing.B) {
+	w := workload.ByName("art-gzip")
+	src := w.NewMachine(nil)
+	src.CycleN(20_000)
+	batch := pipeline.BatchFrom(src, batchBenchK)
+	round := func() {
+		batch.Refill(nil)
+		batch.CycleAllN(batchBenchEpoch)
+	}
+	round() // reach every buffer's high-water mark before timing
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		round()
+		done += batchBenchK * batchBenchEpoch
+	}
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkMachineBatchSequentialBaseline times the identical work
+// without the batch: eight independent machines, each CloneInto-refilled
+// from the same checkpoint and run the same epoch one after another —
+// the pooled pattern the trial loops used before batching. The ratio of
+// BenchmarkMachineBatchCyclesPerSec's aggregate cycles/sec to this
+// benchmark's is the batching speedup on this host.
+func BenchmarkMachineBatchSequentialBaseline(b *testing.B) {
+	w := workload.ByName("art-gzip")
+	src := w.NewMachine(nil)
+	src.CycleN(20_000)
+	members := make([]*pipeline.Machine, batchBenchK)
+	round := func() {
+		for i := range members {
+			members[i] = src.CloneInto(members[i])
+			members[i].CycleN(batchBenchEpoch)
+		}
+	}
+	round()
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		round()
+		done += batchBenchK * batchBenchEpoch
+	}
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkMachineBatchParallel is the same round shape with the batch's
+// persistent workers spread across the host's CPUs. Skipped on a
+// single-CPU host, where lock-step parallelism has nothing to run on —
+// the serial benchmark above is the tracked metric precisely because it
+// is host-shape independent.
+func BenchmarkMachineBatchParallel(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("single-CPU host: parallel batch mode has no extra cores to use")
+	}
+	w := workload.ByName("art-gzip")
+	src := w.NewMachine(nil)
+	src.CycleN(20_000)
+	batch := pipeline.BatchFrom(src, batchBenchK)
+	batch.SetParallel(runtime.GOMAXPROCS(0))
+	defer batch.Close()
+	round := func() {
+		batch.Refill(nil)
+		batch.CycleAllN(batchBenchEpoch)
+	}
+	round()
+	round()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		round()
+		done += batchBenchK * batchBenchEpoch
+	}
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
 // BenchmarkCheckpoint measures the cost of the checkpoint primitive as

@@ -1,6 +1,7 @@
 // Command benchjson is the benchmark-trajectory harness: it runs the
 // repo's hot-loop benchmarks (the single-core cycle loops, the 2-core
-// MultiCoreCyclesPerSec loop, Checkpoint), parses the standard
+// MultiCoreCyclesPerSec loop, the K=8 MachineBatch lock-step loop and
+// its sequential baseline, Checkpoint), parses the standard
 // `go test -bench` output, and emits a
 // stable JSON artifact (BENCH_PR<N>.json) so per-PR performance becomes
 // a tracked, diffable file instead of folklore.
@@ -44,8 +45,16 @@ type Result struct {
 
 // File is the on-disk artifact schema.
 type File struct {
-	// Note describes how to regenerate the file.
+	// Note describes how to regenerate the file, plus any per-PR
+	// measurement context passed via -note.
 	Note string `json:"note"`
+	// BatchCyclesPerSec is the headline batched-simulation metric: the
+	// aggregate member-cycles/sec of the K=8 MachineBatch loop.
+	BatchCyclesPerSec float64 `json:"batch_cycles_per_sec,omitempty"`
+	// BatchSpeedupX is BatchCyclesPerSec over the sequential-clone
+	// baseline's cycles/sec — the measured batching speedup on the
+	// host that generated the file.
+	BatchSpeedupX float64 `json:"batch_speedup_x,omitempty"`
 	// Benchmarks maps the short benchmark name (without the Benchmark
 	// prefix or -cpu suffix) to its result.
 	Benchmarks map[string]Result `json:"benchmarks"`
@@ -62,6 +71,8 @@ var tracked = []struct {
 	{"MachineTracingOff", true},
 	{"MachineSingleCoreUnchanged", true},
 	{"MultiCoreCyclesPerSec", true},
+	{"MachineBatchCyclesPerSec", true},
+	{"MachineBatchSequentialBaseline", true},
 	{"Checkpoint", false},
 }
 
@@ -74,6 +85,7 @@ func main() {
 		tol       = flag.Float64("tol", 0.25, "gate: allowed fractional ns/op regression")
 		benchtime = flag.String("benchtime", "1s", "benchtime passed to go test")
 		count     = flag.Int("count", 1, "count passed to go test (best run is kept)")
+		note      = flag.String("note", "", "per-PR context appended to the artifact's note field")
 	)
 	flag.Parse()
 
@@ -92,6 +104,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *note != "" {
+		f.Note += " | " + *note
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -164,6 +179,10 @@ func measure(benchtime string, count int) (*File, error) {
 			r.CyclesPerSec = 1e9 / r.NsPerOp
 			f.Benchmarks[t.name] = r
 		}
+	}
+	f.BatchCyclesPerSec = f.Benchmarks["MachineBatchCyclesPerSec"].CyclesPerSec
+	if seq := f.Benchmarks["MachineBatchSequentialBaseline"].CyclesPerSec; seq > 0 {
+		f.BatchSpeedupX = f.BatchCyclesPerSec / seq
 	}
 	return f, nil
 }

@@ -233,6 +233,19 @@ func (h *Hierarchy) AttachL3(l3 *SharedL3, c int) {
 	h.core = c
 }
 
+// L3 returns the attached shared last-level cache, nil in the
+// single-core model.
+func (h *Hierarchy) L3() *SharedL3 { return h.l3 }
+
+// DetachL3 disconnects the hierarchy from the shared last-level cache;
+// UL2 misses go straight to memory again. Speculative probe clones (the
+// steepest climber's candidate evaluations) detach so their phantom
+// execution cannot pollute the real system's shared L3 state.
+func (h *Hierarchy) DetachL3() {
+	h.l3 = nil
+	h.core = 0
+}
+
 // Load performs a data load for thread th and returns the load-to-use
 // latency plus whether the access missed in the L2 (a long-latency,
 // memory-bound miss — the trigger for FLUSH/STALL-style policies).

@@ -80,7 +80,8 @@ type OffLine struct {
 	epoch      int
 	lastCommit []uint64
 	epochs     []OffLineEpoch
-	pool       machinePool
+	tb         trialBatch
+	cands      []resource.Shares
 }
 
 // NewOffLine returns an OffLine searcher over m with the paper's default
@@ -146,40 +147,26 @@ func emitIdealEpoch(sink telemetry.Sink, label string, m *pipeline.Machine, res 
 
 // RunEpoch checkpoints the machine, tries every candidate partitioning
 // for one epoch, advances along the best, and returns the epoch record.
+// Candidates run in batched lock-step waves over a shared decoded
+// stream, still scored in enumeration order with a first-strictly-
+// greater tie-break, so the winner — and every figure derived from it —
+// is identical to the old one-trial-at-a-time loop.
 func (o *OffLine) RunEpoch() OffLineEpoch {
 	base := commitCounts(o.M)
 	total := o.M.Resources().Sizes()[resource.IntRename]
 
-	var best *pipeline.Machine
-	var bestTrial Trial
-	var trials []Trial
+	o.cands = o.cands[:0]
 	EnumerateShares(o.M.Threads(), total, o.Stride, func(s resource.Shares) {
-		trial := o.pool.cloneFrom(o.M)
-		if o.Trace != nil {
-			// Fresh per-trial recorder: the adopted winner's counters are
-			// exactly this epoch's stall attribution.
-			trial.SetRecorder(telemetry.NewRecorder(trial.Threads()))
-		}
-		trial.Resources().SetShares(s)
-		trial.CycleN(o.EpochSize)
-		_, ipc := measureEpoch(trial, base, o.EpochSize)
-		tr := Trial{Shares: s, Score: o.Metric.Eval(ipc, o.Singles), IPC: ipc}
-		trials = append(trials, tr)
-		if best == nil || tr.Score > bestTrial.Score {
-			o.pool.put(best) // the dethroned leader becomes a pool machine
-			best = trial
-			bestTrial = tr
-		} else {
-			o.pool.put(trial)
-		}
+		o.cands = append(o.cands, s)
 	})
-	if best == nil {
+	if len(o.cands) == 0 {
 		panic("core: share enumeration produced no trials")
 	}
 
-	prev := o.M
+	ev := o.tb.startEpoch(o.M, o.EpochSize, base, o.Metric, o.Singles, o.Trace)
+	ev.evalWave(o.cands)
+	best, bestTrial, trials := ev.adopt()
 	o.M = best // advance along the winning trial; others cost nothing
-	o.pool.put(prev)
 	committed, ipc := measureEpoch(o.M, base, o.EpochSize)
 	res := OffLineEpoch{
 		EpochResult: EpochResult{
@@ -231,7 +218,8 @@ type RandHill struct {
 	epoch      int
 	epochs     []OffLineEpoch
 	lastAnchor resource.Shares
-	pool       machinePool
+	tb         trialBatch
+	dirs       []resource.Shares
 }
 
 // NewRandHill returns a RandHill searcher with the paper's parameters.
@@ -273,7 +261,10 @@ func (r *RandHill) randomShares(threads, total int) resource.Shares {
 }
 
 // RunEpoch searches the current epoch with multi-start hill climbing and
-// advances the machine along the best partitioning found.
+// advances the machine along the best partitioning found. The T shift
+// directions of each pass run as one batched lock-step wave; trial visit
+// order, the MaxIters budget, and the restart RNG draw order are exactly
+// those of the old one-trial-at-a-time loop, so results are identical.
 func (r *RandHill) RunEpoch() OffLineEpoch {
 	if !r.seeded {
 		r.rng = rng.New(r.Seed)
@@ -283,46 +274,27 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 	threads := r.M.Threads()
 	total := r.M.Resources().Sizes()[resource.IntRename]
 
-	var trials []Trial
-	var best *pipeline.Machine
-	var bestTrial Trial
-	iters := 0
-
-	eval := func(s resource.Shares) Trial {
-		trial := r.pool.cloneFrom(r.M)
-		if r.Trace != nil {
-			trial.SetRecorder(telemetry.NewRecorder(trial.Threads()))
-		}
-		trial.Resources().SetShares(s)
-		trial.CycleN(r.EpochSize)
-		_, ipc := measureEpoch(trial, base, r.EpochSize)
-		tr := Trial{Shares: s, Score: r.Metric.Eval(ipc, r.Singles), IPC: ipc}
-		trials = append(trials, tr)
-		iters++
-		if best == nil || tr.Score > bestTrial.Score {
-			r.pool.put(best)
-			best = trial
-			bestTrial = tr
-		} else {
-			r.pool.put(trial)
-		}
-		return tr
-	}
+	ev := r.tb.startEpoch(r.M, r.EpochSize, base, r.Metric, r.Singles, r.Trace)
 
 	anchor := r.lastAnchor
 	if anchor == nil {
 		anchor = resource.EqualShares(threads, total)
 	}
-	anchorScore := eval(anchor).Score
+	anchorScore := ev.eval1(anchor).Score
 
-	for iters < r.MaxIters {
+	for ev.count() < r.MaxIters {
 		// One hill-climbing pass: sample all T shift directions from the
-		// anchor, move while improving; on a peak, restart randomly.
+		// anchor, move while improving; on a peak, restart randomly. The
+		// wave is truncated where the serial loop would have run out of
+		// iteration budget.
 		improved := false
 		bestDir, bestDirScore := -1, anchorScore
-		for d := 0; d < threads && iters < r.MaxIters; d++ {
-			s := anchor.Shift(d, r.Delta)
-			if tr := eval(s); tr.Score > bestDirScore {
+		r.dirs = r.dirs[:0]
+		for d := 0; d < threads && ev.count()+len(r.dirs) < r.MaxIters; d++ {
+			r.dirs = append(r.dirs, anchor.Shift(d, r.Delta))
+		}
+		for d, tr := range ev.evalWave(r.dirs) {
+			if tr.Score > bestDirScore {
 				bestDir, bestDirScore = d, tr.Score
 			}
 		}
@@ -331,15 +303,14 @@ func (r *RandHill) RunEpoch() OffLineEpoch {
 			anchorScore = bestDirScore
 			improved = true
 		}
-		if !improved && iters < r.MaxIters {
+		if !improved && ev.count() < r.MaxIters {
 			anchor = r.randomShares(threads, total)
-			anchorScore = eval(anchor).Score
+			anchorScore = ev.eval1(anchor).Score
 		}
 	}
 
-	prev := r.M
+	best, bestTrial, trials := ev.adopt()
 	r.M = best
-	r.pool.put(prev)
 	r.lastAnchor = bestTrial.Shares
 	committed, ipc := measureEpoch(r.M, base, r.EpochSize)
 	res := OffLineEpoch{

@@ -30,21 +30,33 @@ import (
 type HotAllocRule struct {
 	// Packages selects where the rule applies (matchPackage semantics).
 	Packages []string
-	// RootRecv and RootName identify the hot-loop root method.
-	RootRecv string
-	RootName string
+	// Roots identify the hot-loop entry points; the walk starts from
+	// every root that exists in the package, and a function reached
+	// from any of them is on the hot path.
+	Roots []FuncRef
 	// Cold lists function (or method) names excluded from the walk.
 	Cold []string
 }
 
+// FuncRef names a package-level method: the bare receiver type name and
+// the method name.
+type FuncRef struct {
+	Recv string
+	Name string
+}
+
 // NewHotAllocRule returns the project configuration: the cycle path of
-// internal/pipeline, rooted at Machine.Cycle, with the invariant-check
-// and telemetry-recording paths cold.
+// internal/pipeline, rooted at the single-machine loop (Machine.Cycle)
+// and the lock-step batch loop (MachineBatch.CycleAll — the refill path
+// is amortised per epoch and deliberately outside the contract), with
+// the invariant-check and telemetry-recording paths cold.
 func NewHotAllocRule() *HotAllocRule {
 	return &HotAllocRule{
 		Packages: []string{"internal/pipeline"},
-		RootRecv: "Machine",
-		RootName: "Cycle",
+		Roots: []FuncRef{
+			{Recv: "Machine", Name: "Cycle"},
+			{Recv: "MachineBatch", Name: "CycleAll"},
+		},
 		Cold: []string{
 			"checkCycle", "checkCommit", "checkDrain", "CheckInvariants",
 			"liveSlots", "record",
@@ -128,26 +140,33 @@ func (r *HotAllocRule) Check(p *Package) []Finding {
 	}
 
 	decls := map[*types.Func]*ast.FuncDecl{}
-	var root *types.Func
+	var roots []*types.Func
 	for _, fd := range funcDecls(p) {
 		fn, ok := p.Info.Defs[fd.Name].(*types.Func)
 		if !ok {
 			continue
 		}
 		decls[fn] = fd
-		if fd.Name.Name == r.RootName && recvTypeName(fd) == r.RootRecv {
-			root = fn
+		for _, root := range r.Roots {
+			if fd.Name.Name == root.Name && recvTypeName(fd) == root.Recv {
+				roots = append(roots, fn)
+			}
 		}
 	}
-	if root == nil {
+	if len(roots) == 0 {
 		return nil
 	}
 
-	// Breadth-first walk of the intra-package call graph. parent records
-	// the discovery edge so findings can show the chain from the root.
+	// Breadth-first walk of the intra-package call graph from every
+	// root. parent records the discovery edge so findings can show the
+	// chain back to a root; a function shared between roots keeps its
+	// first discovery chain.
 	parent := map[*types.Func]*types.Func{}
-	reached := []*types.Func{root}
-	seen := map[*types.Func]bool{root: true}
+	reached := append([]*types.Func(nil), roots...)
+	seen := map[*types.Func]bool{}
+	for _, root := range roots {
+		seen[root] = true
+	}
 	for i := 0; i < len(reached); i++ {
 		caller := reached[i]
 		ast.Inspect(decls[caller].Body, func(n ast.Node) bool {

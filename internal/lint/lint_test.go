@@ -170,9 +170,11 @@ func TestFloatCompareRuleWithoutZeroExemption(t *testing.T) {
 func hotAllocRule(path string) *HotAllocRule {
 	return &HotAllocRule{
 		Packages: []string{"testdata/src/" + path},
-		RootRecv: "Machine",
-		RootName: "Cycle",
-		Cold:     []string{"record"},
+		Roots: []FuncRef{
+			{Recv: "Machine", Name: "Cycle"},
+			{Recv: "Batch", Name: "CycleAll"},
+		},
+		Cold: []string{"record"},
 	}
 }
 
@@ -184,12 +186,16 @@ func TestHotAllocRuleFires(t *testing.T) {
 		sub  string
 	}{
 		{18, "append"}, // direct callee of Cycle
+		{34, "append"}, // reachable only from the batch root
 		{24, "append"}, // two levels deep via helper -> grow
 		{24, "make"},   // nested inside the append call
 	})
-	// The chain rendering names the discovery path from the root.
-	if !strings.Contains(got[1].Msg, "Machine.Cycle -> Machine.helper -> Machine.grow") {
-		t.Errorf("finding msg %q does not show the call chain", got[1].Msg)
+	// The chain rendering names the discovery path from each root.
+	if !strings.Contains(got[1].Msg, "Batch.CycleAll -> Batch.gather") {
+		t.Errorf("finding msg %q does not show the batch-root chain", got[1].Msg)
+	}
+	if !strings.Contains(got[2].Msg, "Machine.Cycle -> Machine.helper -> Machine.grow") {
+		t.Errorf("finding msg %q does not show the call chain", got[2].Msg)
 	}
 }
 

@@ -24,6 +24,16 @@ func (m *Machine) grow() {
 	m.ring = append(m.ring, make([]int, 4)) // flagged twice: append and make
 }
 
+// Batch mimics the lock-step batch owner — the second hot-loop root.
+type Batch struct{ ms []*Machine }
+
+// CycleAll is the batched hot-loop root.
+func (b *Batch) CycleAll() { b.gather() }
+
+func (b *Batch) gather() {
+	b.ms = append(b.ms, nil) // flagged: reachable only from the batch root
+}
+
 // cold is never called from Cycle, so its allocation is not reported.
 func (m *Machine) cold() {
 	m.buf = append(m.buf, 2)

@@ -22,6 +22,14 @@ func (m *Machine) record() {
 	m.buf = append(m.buf, 2)
 }
 
+// Batch mimics the lock-step batch owner — the second hot-loop root. It
+// reuses the machine's already-justified hot path, so the shared
+// subgraph must not be re-reported.
+type Batch struct{ m Machine }
+
+// CycleAll is the batched hot-loop root.
+func (b *Batch) CycleAll() { b.m.step() }
+
 // reset is unreachable from Cycle.
 func (m *Machine) reset() {
 	m.buf = make([]int, 0, 8)

@@ -317,10 +317,12 @@ func (d *Driver) emitMigration(g, from, to int) {
 	})
 }
 
-// resetClimber restores core c's hill-climber anchor to the equal
-// partition after its thread pair changed.
+// resetClimber restores core c's climber anchor to the equal partition
+// after its thread pair changed. Any anchored distributor qualifies —
+// the round-robin HillClimber and the batched Steepest both learn a
+// partition that belonged to the old pair.
 func (d *Driver) resetClimber(c int) {
-	if h, ok := d.Runners[c].Dist.(*core.HillClimber); ok {
+	if h, ok := d.Runners[c].Dist.(interface{ SetAnchor(resource.Shares) }); ok {
 		h.SetAnchor(resource.EqualShares(ContextsPerCore, d.RenameRegs))
 	}
 }

@@ -130,6 +130,57 @@ func TestDriverDeterministic(t *testing.T) {
 	}
 }
 
+// TestDriverSteepestPerCore: the batched steepest climber drops in as a
+// per-core distributor. Its probes clone the live core's machine into a
+// MachineBatch, detach from the shared L3 (phantom execution must not
+// pollute real state), and survive context migrations — a thread swap
+// replaces a seat's stream wholesale, forcing the probe batch to
+// re-adopt its shared-decode feeds on the next refill. Two identical
+// runs must land on identical thread state.
+func TestDriverSteepestPerCore(t *testing.T) {
+	run := func() ([]uint64, uint64) {
+		sys := newTestSystem(t, 2)
+		renameRegs := resource.DefaultSizes()[resource.IntRename]
+		runners := make([]*core.Runner, 2)
+		for c := 0; c < 2; c++ {
+			st := core.NewSteepest(ContextsPerCore, renameRegs, metrics.WeightedIPC)
+			st.M = sys.Core(c)
+			st.ProbeCycles = 512
+			r := core.NewRunner(sys.Core(c), st, metrics.WeightedIPC)
+			r.EpochSize = 2048
+			st.Singles = r.Singles
+			runners[c] = r
+		}
+		d := &Driver{Sys: sys, Runners: runners, Pairing: forceSwap{},
+			EpochSize: 2048, AllocEvery: 2, RenameRegs: renameRegs}
+		d.Run(8)
+		for c := 0; c < 2; c++ {
+			st := runners[c].Dist.(*core.Steepest)
+			if got := st.Anchor().Sum(); got != renameRegs {
+				t.Fatalf("core %d anchor sums %d, want %d", c, got, renameRegs)
+			}
+		}
+		out := make([]uint64, sys.Threads())
+		for g := range out {
+			out[g] = sys.Committed(g)
+		}
+		return out, sys.Migrations()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if m1 == 0 {
+		t.Fatal("force-swap pairing caused no migrations; the re-adoption path went unexercised")
+	}
+	if m1 != m2 {
+		t.Fatalf("migration counts diverged: %d vs %d", m1, m2)
+	}
+	for g := range c1 {
+		if c1[g] != c2[g] {
+			t.Fatalf("thread %d committed %d vs %d across identical runs", g, c1[g], c2[g])
+		}
+	}
+}
+
 // TestDriverObservationsPopulated: after a reallocation point the
 // per-thread observations carry live IPC and stall signals.
 func TestDriverObservationsPopulated(t *testing.T) {

@@ -45,6 +45,11 @@ func buildCores(s Spec) ([]pipeline.Policy, []core.Distributor, metrics.Kind, er
 			h.Delta = s.Delta
 			dists[c] = h
 			feedback = metric
+		case "STEEP-WIPC":
+			st := core.NewSteepest(multicore.ContextsPerCore, renameRegs, metrics.WeightedIPC)
+			st.Delta = s.Delta
+			dists[c] = st
+			feedback = metrics.WeightedIPC
 		default:
 			return nil, nil, 0, fmt.Errorf("simjob: technique %q is not available on multi-core runs", s.Tech)
 		}
@@ -84,6 +89,10 @@ func runMulticore(ctx context.Context, w workload.Workload, s Spec, sink telemet
 	for c := 0; c < s.Cores; c++ {
 		r := core.NewRunner(sys.Core(c), dists[c], feedback)
 		r.EpochSize = s.EpochSize
+		if st, ok := dists[c].(*core.Steepest); ok {
+			st.M = sys.Core(c)
+			st.Singles = r.Singles
+		}
 		if sink != nil {
 			coreLabel := fmt.Sprintf("%s#c%d", label, c)
 			r.Trace = sink

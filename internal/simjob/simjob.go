@@ -70,6 +70,7 @@ func Techniques() []string {
 	return []string{
 		"ICOUNT", "STALL", "FLUSH", "DCRA", "STATIC",
 		"HILL-IPC", "HILL-WIPC", "HILL-HWIPC", "HILL-PHASE",
+		"STEEP-WIPC",
 	}
 }
 
@@ -408,6 +409,12 @@ func buildWorkload(w workload.Workload, s Spec) (*pipeline.Machine, core.Distrib
 		ph := core.NewPhaseHill(w.Threads(), renameRegs, metrics.WeightedIPC)
 		ph.Hill.Delta = s.Delta
 		return w.NewMachine(nil), ph, metrics.WeightedIPC, nil
+	case "STEEP-WIPC":
+		st := core.NewSteepest(w.Threads(), renameRegs, metrics.WeightedIPC)
+		st.Delta = s.Delta
+		m := w.NewMachine(nil)
+		st.M = m
+		return m, st, metrics.WeightedIPC, nil
 	}
 	return nil, nil, 0, fmt.Errorf("simjob: unknown technique %q", s.Tech)
 }
@@ -489,6 +496,9 @@ func RunWorkload(ctx context.Context, w workload.Workload, s Spec, sink telemetr
 	r.EpochSize = s.EpochSize
 	r.Trace = sink
 	r.TraceLabel = label
+	if st, ok := dist.(*core.Steepest); ok {
+		st.Singles = r.Singles
+	}
 	for i := 0; i < s.Epochs; i++ {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
